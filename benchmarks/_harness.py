@@ -1,0 +1,65 @@
+"""Shared machinery for the benchmark harness.
+
+The harness regenerates every table and figure of the paper's evaluation
+(see DESIGN.md's experiment index).  The expensive raw data — each analog
+compiled, allocated by each allocator, and simulated — is computed once
+per session (see ``conftest.quality_data``) and shared by Table 1,
+Table 2, and Figure 3.
+
+Every reproduced table is printed to the terminal (bypassing pytest's
+capture) *and* written under ``benchmarks/results/`` so a benchmark run
+leaves a record that EXPERIMENTS.md can reference.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.allocators import GraphColoring, SecondChanceBinpacking
+from repro.pipeline import run_allocator
+from repro.sim import simulate
+from repro.sim.machine import outputs_equal
+from repro.target import alpha
+from repro.workloads.programs import PROGRAM_NAMES, build_program
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Set REPRO_BENCH_SET=fast to run the quality tables on a subset.
+FAST_SET = ["doduc", "fpppp", "compress", "m88ksim", "sort"]
+
+
+def bench_program_names() -> list[str]:
+    """The analogs the quality tables cover in this run."""
+    if os.environ.get("REPRO_BENCH_SET") == "fast":
+        return list(FAST_SET)
+    return list(PROGRAM_NAMES)
+
+
+class QualityRun:
+    """One benchmark analog under both headline allocators."""
+
+    def __init__(self, name: str):
+        machine = alpha()
+        module = build_program(name, machine)
+        self.name = name
+        self.reference = simulate(module, machine)
+        self.results = {}
+        self.outcomes = {}
+        for key, allocator in (("binpack", SecondChanceBinpacking()),
+                               ("coloring", GraphColoring())):
+            result = run_allocator(module, allocator, machine)
+            outcome = simulate(result.module, machine)
+            assert outputs_equal(outcome.output, self.reference.output), (
+                f"{name}/{key}: allocation changed observable behaviour")
+            self.results[key] = result
+            self.outcomes[key] = outcome
+
+
+def emit_table(capsys, filename: str, text: str) -> None:
+    """Print ``text`` to the live terminal and save it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(text + "\n")
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,11 @@
+"""Session fixtures for the benchmark harness (logic in _harness.py)."""
+
+import pytest
+
+from _harness import QualityRun, bench_program_names
+
+
+@pytest.fixture(scope="session")
+def quality_data() -> dict[str, QualityRun]:
+    """All analogs, allocated and simulated under both allocators."""
+    return {name: QualityRun(name) for name in bench_program_names()}

@@ -1,0 +1,77 @@
+"""Section 3.1's two-pass ablation: wc degrades, eqntott does not.
+
+Paper reference: "The wc benchmark ran 38% slower (1445466 vs 1046734
+dynamic instructions) when allocated using two-pass binpacking than it
+did when allocated with our second-chance approach. ... The other class
+of applications, exemplified by eqntott, has almost identical performance
+under two-pass binpacking and second-chance binpacking (2783984589 vs
+2782873030 dynamic instructions)."
+
+Our analogs reproduce the *split*: a clear two-pass penalty on wc (whose
+hot loop keeps many scalars live across a call) and near-parity on
+eqntott (whose hot routine needs no spilling).  The measured factor on wc
+is smaller than the paper's 38% — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.allocators import SecondChanceBinpacking, TwoPassBinpacking
+from repro.pipeline import run_allocator
+from repro.sim import simulate
+from repro.sim.machine import outputs_equal
+from repro.stats.report import format_table
+from repro.target import alpha
+from repro.workloads.programs import build_program
+
+from _harness import emit_table
+
+_RECORDED: dict[str, dict[str, int]] = {}
+
+
+def _measure(name: str) -> dict[str, int]:
+    cached = _RECORDED.get(name)
+    if cached is not None:
+        return cached
+    machine = alpha()
+    module = build_program(name, machine)
+    reference = simulate(module, machine)
+    counts = {}
+    for key, allocator in (("second-chance", SecondChanceBinpacking()),
+                           ("two-pass", TwoPassBinpacking())):
+        result = run_allocator(module, allocator, machine)
+        outcome = simulate(result.module, machine)
+        assert outputs_equal(outcome.output, reference.output)
+        counts[key] = outcome.dynamic_instructions
+        counts[key + "-cycles"] = outcome.cycles
+    _RECORDED[name] = counts
+    return counts
+
+
+@pytest.mark.parametrize("name", ["wc", "eqntott"])
+def test_twopass_measurement(benchmark, name):
+    counts = benchmark.pedantic(_measure, args=(name,), rounds=1,
+                                iterations=1, warmup_rounds=0)
+    assert counts["second-chance"] > 0
+
+
+def test_section31_report(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
+    rows = []
+    for name in ("wc", "eqntott"):
+        counts = _measure(name)
+        rows.append([name, counts["second-chance"], counts["two-pass"],
+                     counts["two-pass"] / counts["second-chance"],
+                     counts["two-pass-cycles"] / counts["second-chance-cycles"]])
+    table = format_table(
+        ["benchmark", "second-chance instrs", "two-pass instrs",
+         "instr ratio", "cycle ratio"],
+        rows,
+        title=("Section 3.1: two-pass binpacking vs second chance "
+               "(paper: wc 1.38x, eqntott 1.0004x)"))
+    emit_table(capsys, "section31_twopass.txt", table)
+    wc_ratio = rows[0][3]
+    eqntott_ratio = rows[1][3]
+    # The split: wc pays a clear penalty, eqntott essentially none.
+    assert wc_ratio > 1.03
+    assert eqntott_ratio < 1.03
+    assert wc_ratio > eqntott_ratio

@@ -1,0 +1,76 @@
+"""Compare all four allocators on a benchmark analog.
+
+Usage::
+
+    python examples/compare_allocators.py [benchmark] [--machine tiny|alpha]
+
+e.g. ``python examples/compare_allocators.py doduc``.  Runs second-chance
+binpacking, two-pass binpacking, George–Appel coloring, and Poletto
+linear scan on one of the paper's benchmark analogs and prints a Table-1
+style comparison: dynamic instructions, simulated cycles, spill
+percentage, and core allocation time.
+"""
+
+import sys
+
+from repro.allocators import (
+    GraphColoring,
+    PolettoLinearScan,
+    SecondChanceBinpacking,
+    TwoPassBinpacking,
+)
+from repro.pipeline import run_allocator
+from repro.sim import simulate
+from repro.sim.machine import outputs_equal
+from repro.stats.report import format_table
+from repro.target import alpha, tiny
+from repro.workloads.programs import PROGRAM_NAMES, build_program
+
+ALLOCATORS = [
+    SecondChanceBinpacking,
+    TwoPassBinpacking,
+    GraphColoring,
+    PolettoLinearScan,
+]
+
+
+def main() -> None:
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    name = args[0] if args else "doduc"
+    machine = tiny(8, 8) if "--machine=tiny" in sys.argv else alpha()
+    if name not in PROGRAM_NAMES:
+        raise SystemExit(f"unknown benchmark {name!r}; choose from "
+                         f"{', '.join(PROGRAM_NAMES)}")
+
+    module = build_program(name, machine)
+    reference = simulate(module, machine)
+    print(f"benchmark: {name} on {machine}")
+    print(f"reference run: {reference.dynamic_instructions:,} dynamic "
+          f"instructions, output {reference.output[:4]}...")
+
+    rows = []
+    for factory in ALLOCATORS:
+        allocator = factory()
+        result = run_allocator(module, allocator, machine)
+        outcome = simulate(result.module, machine)
+        assert outputs_equal(outcome.output, reference.output), allocator.name
+        rows.append([
+            allocator.name,
+            outcome.dynamic_instructions,
+            outcome.cycles,
+            f"{100 * outcome.spill_fraction():.2f}%",
+            f"{result.stats.alloc_seconds * 1000:.1f} ms",
+        ])
+    baseline_cycles = rows[2][2]  # graph coloring, the paper's reference
+    for row in rows:
+        row.append(row[2] / baseline_cycles)
+
+    print()
+    print(format_table(
+        ["allocator", "dyn instrs", "cycles", "spill%", "alloc time",
+         "cycles vs GC"],
+        rows))
+
+
+if __name__ == "__main__":
+    main()

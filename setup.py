@@ -1,0 +1,7 @@
+"""Legacy setuptools shim (the offline environment lacks the `wheel`
+package, so PEP 660 editable installs cannot build); metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands:
+
+* ``run FILE.mc``       — compile a minic file and execute it;
+* ``compile FILE.mc``   — dump the IR (before and, with ``--allocate``,
+                          after register allocation);
+* ``compare FILE.mc``   — run every allocator and print a Table-1-style
+                          comparison;
+* ``bench NAME``        — the same comparison on a built-in benchmark
+                          analog (``python -m repro bench wc``).
+
+Options shared by all subcommands: ``--machine alpha|tiny`` (default
+alpha), ``--allocator second-chance|two-pass|coloring|poletto`` (default
+second-chance, where a single allocator applies), ``--spill-cleanup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.allocators import (
+    GraphColoring,
+    PolettoLinearScan,
+    SecondChanceBinpacking,
+    TwoPassBinpacking,
+)
+from repro.ir.printer import print_module
+from repro.lang import compile_minic
+from repro.pipeline import run_allocator
+from repro.sim import simulate
+from repro.sim.machine import outputs_equal
+from repro.stats.report import format_table
+from repro.target import alpha, tiny
+
+ALLOCATORS = {
+    "second-chance": SecondChanceBinpacking,
+    "two-pass": TwoPassBinpacking,
+    "coloring": GraphColoring,
+    "poletto": PolettoLinearScan,
+}
+
+
+def _machine(name: str):
+    if name == "alpha":
+        return alpha()
+    if name == "tiny":
+        return tiny(8, 8)
+    raise SystemExit(f"unknown machine {name!r} (alpha or tiny)")
+
+
+def _load_module(path: str, machine):
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+    return compile_minic(source, machine)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    module = _load_module(args.file, machine)
+    allocator = ALLOCATORS[args.allocator]()
+    result = run_allocator(module, allocator, machine,
+                           spill_cleanup=args.spill_cleanup)
+    outcome = simulate(result.module, machine)
+    for value in outcome.output:
+        print(value)
+    print(f"# {outcome.dynamic_instructions:,} instructions, "
+          f"{outcome.cycles:,} cycles, allocator: {allocator.name}",
+          file=sys.stderr)
+    result_value = outcome.result
+    return int(result_value) & 0xFF if isinstance(result_value, int) else 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    module = _load_module(args.file, machine)
+    if not args.allocate:
+        print(print_module(module))
+        return 0
+    allocator = ALLOCATORS[args.allocator]()
+    result = run_allocator(module, allocator, machine,
+                           spill_cleanup=args.spill_cleanup)
+    print(print_module(result.module))
+    return 0
+
+
+def _comparison(module, machine, spill_cleanup: bool) -> str:
+    reference = simulate(module, machine)
+    rows = []
+    for name, factory in ALLOCATORS.items():
+        result = run_allocator(module, factory(), machine,
+                               spill_cleanup=spill_cleanup)
+        outcome = simulate(result.module, machine)
+        if not outputs_equal(outcome.output, reference.output):
+            raise SystemExit(f"{name}: allocation changed program output!")
+        rows.append([name, outcome.dynamic_instructions, outcome.cycles,
+                     f"{100 * outcome.spill_fraction():.2f}%",
+                     f"{result.stats.alloc_seconds * 1000:.1f}"])
+    return format_table(
+        ["allocator", "dyn instrs", "cycles", "spill%", "alloc ms"], rows)
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    module = _load_module(args.file, machine)
+    print(_comparison(module, machine, args.spill_cleanup))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.workloads.programs import PROGRAM_NAMES, build_program
+
+    if args.name not in PROGRAM_NAMES:
+        raise SystemExit(f"unknown analog {args.name!r}; choose from "
+                         f"{', '.join(PROGRAM_NAMES)}")
+    machine = _machine(args.machine)
+    module = build_program(args.name, machine)
+    print(f"benchmark analog: {args.name} on {machine}")
+    print(_comparison(module, machine, args.spill_cleanup))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Linear-scan register allocation reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, with_allocator: bool = True):
+        p.add_argument("--machine", default="alpha",
+                       choices=["alpha", "tiny"],
+                       help="target machine (default: alpha)")
+        p.add_argument("--spill-cleanup", action="store_true",
+                       help="run the post-allocation spill-code cleanup")
+        if with_allocator:
+            p.add_argument("--allocator", default="second-chance",
+                           choices=sorted(ALLOCATORS),
+                           help="register allocator (default: second-chance)")
+
+    run_p = sub.add_parser("run", help="compile and execute a minic file")
+    run_p.add_argument("file")
+    common(run_p)
+    run_p.set_defaults(func=cmd_run)
+
+    compile_p = sub.add_parser("compile", help="dump IR for a minic file")
+    compile_p.add_argument("file")
+    compile_p.add_argument("--allocate", action="store_true",
+                           help="dump post-allocation code instead")
+    common(compile_p)
+    compile_p.set_defaults(func=cmd_compile)
+
+    compare_p = sub.add_parser("compare",
+                               help="compare all allocators on a minic file")
+    compare_p.add_argument("file")
+    common(compare_p, with_allocator=False)
+    compare_p.set_defaults(func=cmd_compare)
+
+    bench_p = sub.add_parser("bench",
+                             help="compare allocators on a built-in analog")
+    bench_p.add_argument("name")
+    common(bench_p, with_allocator=False)
+    bench_p.set_defaults(func=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

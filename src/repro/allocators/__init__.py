@@ -1,0 +1,39 @@
+"""Register allocators.
+
+Four allocators share one interface (:class:`RegisterAllocator`):
+
+* :class:`~repro.allocators.binpack.SecondChanceBinpacking` — the paper's
+  contribution (Section 2).
+* :class:`~repro.allocators.binpack.TwoPassBinpacking` — the whole-lifetime
+  binpacking baseline of Section 3.1's ablation.
+* :class:`~repro.allocators.coloring.GraphColoring` — George & Appel's
+  iterated register coalescing, the paper's comparison allocator.
+* :class:`~repro.allocators.linearscan.PolettoLinearScan` — the simple
+  sorted-interval linear scan of Section 4's related work.
+
+All of them consume the same precomputed CFG/liveness/loop analyses and
+the same spill-slot and callee-save machinery, mirroring the paper's
+"identical in every respect except the central register assignment
+algorithms" methodology (Section 3).
+"""
+
+from repro.allocators.base import (
+    AllocationStats,
+    RegisterAllocator,
+    SharedAnalyses,
+    allocate_module,
+)
+from repro.allocators.binpack import SecondChanceBinpacking, TwoPassBinpacking
+from repro.allocators.coloring import GraphColoring
+from repro.allocators.linearscan import PolettoLinearScan
+
+__all__ = [
+    "AllocationStats",
+    "GraphColoring",
+    "PolettoLinearScan",
+    "RegisterAllocator",
+    "SecondChanceBinpacking",
+    "SharedAnalyses",
+    "TwoPassBinpacking",
+    "allocate_module",
+]

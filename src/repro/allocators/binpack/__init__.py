@@ -1,0 +1,19 @@
+"""Binpacking linear-scan allocators (Section 2 of the paper).
+
+:class:`SecondChanceBinpacking` is the paper's contribution: a single
+forward allocate/rewrite scan over the linear code, lifetime-hole-aware
+bin selection, optimistic "second chance" handling of spilled
+temporaries, a consistency-tracked spill-store minimization, and a
+resolution pass that reconciles the linear assumptions with the actual
+CFG.
+
+:class:`TwoPassBinpacking` is the Section 3.1 ablation baseline: the same
+hole-aware packing, but each lifetime lives *wholly* in a register or
+wholly in memory, with rewriting as a separate second pass and no
+resolution.
+"""
+
+from repro.allocators.binpack.allocator import SecondChanceBinpacking
+from repro.allocators.binpack.twopass import TwoPassBinpacking
+
+__all__ = ["SecondChanceBinpacking", "TwoPassBinpacking"]

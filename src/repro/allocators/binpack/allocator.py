@@ -1,0 +1,415 @@
+"""Second-chance binpacking: the single allocate/rewrite scan (Section 2).
+
+The scan walks the instructions in linear order exactly once.  For every
+instruction it:
+
+1. **Honours register reservations.**  Registers referenced by the
+   calling convention at this instruction (explicit physical operands,
+   and the caller-saved set at calls) have their occupants evicted first.
+   This is Section 2.5's "when a register's lifetime hole expires, we
+   check to see if there is still a temporary contained in it" — with the
+   *early second chance* upgrade that converts an eviction store into a
+   register-to-register move when an empty register with a large enough
+   hole exists.
+
+2. **Rewrites uses.**  A use of a resident temporary is rewritten to its
+   register.  A use of a spilled temporary gets a register (possibly
+   evicting someone) and a reload — and then *stays* resident: "we
+   optimistically, rather than pessimistically, plan for u's future
+   references" (Section 2.3).
+
+3. **Rewrites defs.**  A def of a non-resident temporary gets a register
+   with *no* load, and its store back to memory is postponed until
+   eviction — and elided entirely if the value dies or the register and
+   memory are still consistent when eviction comes.
+
+Register selection follows Section 2.2's binpacking heuristics: among
+registers whose hole contains the temporary's remaining lifetime, the
+*smallest* such hole (best fit); otherwise the *largest insufficient*
+hole (Section 2.5, which is what lets temporaries live across calls in
+caller-saved registers temporarily); otherwise evict the occupant with
+the lowest priority (distance to next reference, weighted by loop depth).
+
+The scan's linear view of control flow is reconciled with the real CFG
+afterwards by :mod:`repro.allocators.binpack.resolution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocators.base import (
+    AllocationError,
+    AllocationStats,
+    RegisterAllocator,
+    SharedAnalyses,
+    SpillSlots,
+    eviction_priority,
+)
+from repro.allocators.binpack.resolution import resolve_edges
+from repro.allocators.binpack.state import ScanState
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, SpillPhase
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.lifetimes.intervals import LifetimeTable, RangeSet
+from repro.target.machine import MachineDescription
+
+#: Stands in for "no reservation / occupant ever again".
+_INF = 1 << 60
+
+
+@dataclass(frozen=True)
+class BinpackOptions:
+    """Ablation knobs for the design choices Section 2 calls out.
+
+    Attributes:
+        use_holes: Pack temporaries into other temporaries' lifetime
+            holes (Section 2.1/2.2).  Off = an occupant blocks its whole
+            span.
+        early_second_chance: Convert convention-forced eviction stores
+            into moves when an empty register can hold the remaining
+            lifetime (Section 2.5).
+        move_elimination: Try to give a move's destination the source's
+            register so the peephole pass can delete the move
+            (Section 2.5).
+        avoid_consistent_stores: Elide eviction/resolution stores when
+            register and memory are known consistent, tracking
+            ``ARE_CONSISTENT`` (Section 2.3); requires the resolution
+            dataflow (or the conservative variant) for correctness.
+        conservative_consistency: Section 2.6's strictly-linear variant:
+            reinitialize ``ARE_CONSISTENT`` at each block top from
+            already-scanned predecessors instead of running the iterative
+            dataflow afterwards.
+    """
+
+    use_holes: bool = True
+    early_second_chance: bool = True
+    move_elimination: bool = True
+    avoid_consistent_stores: bool = True
+    conservative_consistency: bool = False
+
+
+class SecondChanceBinpacking(RegisterAllocator):
+    """The paper's allocator.  See the module docstring."""
+
+    def __init__(self, options: BinpackOptions | None = None):
+        self.options = options or BinpackOptions()
+        self.name = "second-chance binpacking"
+
+    # ------------------------------------------------------------------
+    # Hole geometry.
+    # ------------------------------------------------------------------
+    def _hole_end(self, state: ScanState, table: LifetimeTable,
+                  reg: PhysReg, point: int) -> tuple[int, int]:
+        """How far past ``point`` register ``reg`` stays free.
+
+        Returns ``(hole_end, occupant_resume)``: the combined hole end and
+        the earliest point an occupant's live range resumes (``_INF`` when
+        no occupant ever does).  The distinction matters because only
+        *reservation* expiry has eviction events during the scan — a temp
+        may be packed into an insufficient reservation hole (Section 2.5,
+        it will be evicted when the convention reclaims the register) but
+        never past an occupant's resumption, which would silently clobber
+        it.  Both values equal ``point`` when the register is unavailable
+        now.
+        """
+        reserved = table.reserved_for(reg)
+        if reserved.covers(point):
+            return point, point
+        nxt = reserved.next_covered_at_or_after(point)
+        end = nxt if nxt is not None else _INF
+        occupant_resume = _INF
+        state.prune(reg, point)
+        for t in state.occupants_of(reg):
+            lifetime = table.temps[t]
+            if self.options.use_holes:
+                resume = lifetime.next_live_at_or_after(point)
+            else:
+                # Without hole packing an occupant blocks its whole span.
+                if lifetime.end <= point:
+                    resume = None
+                elif lifetime.start <= point:
+                    resume = point
+                else:
+                    resume = lifetime.start
+            if resume is None:
+                continue
+            occupant_resume = min(occupant_resume, resume)
+            if occupant_resume <= point:
+                return point, point
+        return min(end, occupant_resume), occupant_resume
+
+    def _remaining_end(self, table: LifetimeTable, temp: Temp, point: int) -> int:
+        """End of ``temp``'s remaining lifetime (at least one point)."""
+        return max(table.temps[temp].end, point + 1)
+
+    def _remaining_ranges(self, table: LifetimeTable, temp: Temp,
+                          point: int) -> RangeSet:
+        """``temp``'s remaining live ranges (convex span without holes)."""
+        if self.options.use_holes:
+            return table.temps[temp].remaining(point)
+        return RangeSet([(point, self._remaining_end(table, temp, point))])
+
+    def _occupant_ranges(self, table: LifetimeTable, temp: Temp) -> RangeSet:
+        """The ranges an occupant blocks: its live ranges, or its whole
+        span when hole packing is disabled."""
+        lifetime = table.temps[temp]
+        if self.options.use_holes:
+            return lifetime.live
+        return RangeSet([(lifetime.start, lifetime.end)])
+
+    # ------------------------------------------------------------------
+    # Eviction.
+    # ------------------------------------------------------------------
+    def _evict(self, state: ScanState, table: LifetimeTable, slots: SpillSlots,
+               stats: AllocationStats, temp: Temp, reg: PhysReg, point: int,
+               pre: list[Instr], locked: set[PhysReg], *,
+               allow_move: bool) -> None:
+        """Take ``reg`` away from ``temp`` at ``point`` (Section 2.3/2.5).
+
+        Emits nothing when the value is dead or in a hole; elides the
+        store when memory is consistent (recording the dataflow gen bit);
+        otherwise tries the early-second-chance move and falls back to a
+        spill store.
+        """
+        lifetime = table.temps[temp]
+        if not lifetime.alive_at(point):
+            state.displace(temp)
+            return
+        if self.options.avoid_consistent_stores and state.is_consistent(temp):
+            state.note_consistency_used(temp)
+            state.displace(temp)
+            return
+        if allow_move and self.options.early_second_chance:
+            target = self._find_empty_register(
+                state, table, temp, point, locked)
+            if target is not None:
+                op = Op.MOV if temp.regclass is RegClass.GPR else Op.FMOV
+                pre.append(Instr(op, defs=[target], uses=[reg],
+                                 spill_phase=SpillPhase.EVICT))
+                stats.bump_spill(SpillPhase.EVICT, "move")
+                state.displace(temp)
+                state.place(temp, target)
+                return
+        pre.append(Instr(Op.STS, uses=[reg], slot=slots.home(temp),
+                         spill_phase=SpillPhase.EVICT))
+        stats.bump_spill(SpillPhase.EVICT, "store")
+        state.set_consistent(temp)
+        state.displace(temp)
+
+    def _find_empty_register(self, state: ScanState, table: LifetimeTable,
+                             temp: Temp, point: int,
+                             locked: set[PhysReg]) -> PhysReg | None:
+        """An occupant-free register whose hole holds ``temp``'s remaining
+        live ranges (the early-second-chance target search).
+
+        Fresh callee-saved registers are not eligible: converting one
+        eviction store into a move is a bad trade when it drags a new
+        prologue save/restore pair into every activation of the function.
+        """
+        machine = table.machine
+        remaining = self._remaining_ranges(table, temp, point)
+        for reg in machine.regs(temp.regclass):
+            if reg in locked:
+                continue
+            if machine.is_callee_saved(reg) and reg not in state.ever_used:
+                continue
+            state.prune(reg, point)
+            if state.occupants_of(reg):
+                continue
+            if table.reserved_for(reg).overlaps(remaining):
+                continue
+            return reg
+        return None
+
+    # ------------------------------------------------------------------
+    # Register selection (Section 2.2's binpacking search).
+    # ------------------------------------------------------------------
+    def _find_register(self, state: ScanState, table: LifetimeTable,
+                       slots: SpillSlots, stats: AllocationStats, temp: Temp,
+                       point: int, locked: set[PhysReg],
+                       pre: list[Instr]) -> PhysReg:
+        """Choose (and if necessary free up) a register for ``temp``."""
+        machine = table.machine
+        remaining = self._remaining_ranges(table, temp, point)
+        best_fit: PhysReg | None = None
+        best_fit_end = _INF + 1
+        largest: PhysReg | None = None
+        largest_end = point
+        for reg in machine.regs(temp.regclass):
+            if reg in locked:
+                continue
+            hole_end, _resume = self._hole_end(state, table, reg, point)
+            if hole_end <= point:
+                continue
+            # Occupants must never be live while the newcomer is: their
+            # resumptions have no eviction event, so an overlap would
+            # silently clobber one of the two.
+            if any(self._occupant_ranges(table, other).overlaps(remaining)
+                   for other in state.occupants_of(reg)):
+                continue
+            if not table.reserved_for(reg).overlaps(remaining):
+                # Sufficient: the register is free over every point where
+                # the temporary is live (holes included) — best fit keeps
+                # the smallest such hole (Section 2.2).
+                if hole_end < best_fit_end:
+                    best_fit, best_fit_end = reg, hole_end
+            elif hole_end > largest_end:
+                # Insufficient only because of a reservation: usable, the
+                # reservation-expiry events will evict (Section 2.5's
+                # "largest insufficiently-large hole").
+                largest, largest_end = reg, hole_end
+        chosen = best_fit if best_fit is not None else largest
+        if chosen is None:
+            chosen = self._evict_lowest_priority(
+                state, table, slots, stats, temp, point, locked, pre)
+        state.place(temp, chosen)
+        return chosen
+
+    def _evict_lowest_priority(self, state: ScanState, table: LifetimeTable,
+                               slots: SpillSlots, stats: AllocationStats,
+                               temp: Temp, point: int, locked: set[PhysReg],
+                               pre: list[Instr]) -> PhysReg:
+        """No free hole: evict the lowest-priority live occupant."""
+        victim_reg: PhysReg | None = None
+        victim: Temp | None = None
+        worst = float("inf")
+        for reg in table.machine.regs(temp.regclass):
+            if reg in locked or table.reserved_for(reg).covers(point):
+                continue
+            blocking = [t for t in state.occupants_of(reg)
+                        if table.temps[t].start <= point < table.temps[t].end]
+            if not blocking:
+                continue
+            live = [t for t in blocking if table.temps[t].alive_at(point)]
+            if live:
+                candidate = live[0]
+                priority = eviction_priority(table, candidate, point)
+            else:
+                # Only a hole-resident occupant blocks (possible when hole
+                # packing is disabled): evicting it is free.
+                candidate = blocking[0]
+                priority = -1.0
+            if priority < worst:
+                worst, victim, victim_reg = priority, candidate, reg
+        if victim_reg is None:
+            raise AllocationError(
+                f"no register of class {temp.regclass.name} available for "
+                f"{temp} at point {point} (file too small)")
+        self._evict(state, table, slots, stats, victim, victim_reg, point,
+                    pre, locked, allow_move=False)
+        # Hole claimants whose hole cannot also host the newcomer lose
+        # their claim (no code needed: a hole holds no value).
+        remaining = self._remaining_ranges(table, temp, point)
+        for claimant in list(state.occupants_of(victim_reg)):
+            if self._occupant_ranges(table, claimant).overlaps(remaining):
+                state.displace(claimant)
+        return victim_reg
+
+    # ------------------------------------------------------------------
+    # The scan.
+    # ------------------------------------------------------------------
+    def allocate_function(self, fn: Function, machine: MachineDescription,
+                          shared: SharedAnalyses, slots: SpillSlots,
+                          stats: AllocationStats) -> None:
+        table = shared.lifetimes
+        state = ScanState(table, shared.liveness, shared.cfg)
+        opts = self.options
+
+        for block in fn.blocks:
+            state.begin_block(block.label)
+            if opts.conservative_consistency:
+                state.reinit_consistency_conservative(block.label)
+            rewritten: list[Instr] = []
+            for instr in block.instrs:
+                use_point = table.use_point(instr)
+                def_point = use_point + 1
+                pre: list[Instr] = []
+                locked: set[PhysReg] = set()
+
+                # 1. Reservation events: convention reclaims registers.
+                self._process_reservations(state, table, slots, stats,
+                                           use_point, pre, locked)
+
+                # 2. Uses.
+                for i, use in enumerate(instr.uses):
+                    if isinstance(use, PhysReg):
+                        locked.add(use)
+                        continue
+                    reg = state.loc.get(use)
+                    if reg is None:
+                        reg = self._find_register(state, table, slots, stats,
+                                                  use, use_point, locked, pre)
+                        pre.append(Instr(Op.LDS, defs=[reg],
+                                         slot=slots.home(use),
+                                         spill_phase=SpillPhase.EVICT))
+                        stats.bump_spill(SpillPhase.EVICT, "load")
+                        state.set_consistent(use)
+                    instr.uses[i] = reg
+                    locked.add(reg)
+
+                # 3. Defs.
+                for i, dst in enumerate(instr.defs):
+                    if isinstance(dst, PhysReg):
+                        locked.add(dst)
+                        continue
+                    reg = state.loc.get(dst)
+                    if reg is None and opts.move_elimination and instr.is_move:
+                        reg = self._try_move_elimination(
+                            state, table, stats, instr, dst, def_point)
+                    if reg is None:
+                        reg = self._find_register(state, table, slots, stats,
+                                                  dst, def_point, locked, pre)
+                    instr.defs[i] = reg
+                    locked.add(reg)
+                    state.clear_consistent(dst)
+
+                rewritten.extend(pre)
+                rewritten.append(instr)
+            block.instrs = rewritten
+            state.end_block(block.label)
+
+        iterations = resolve_edges(fn, machine, shared, state, slots, stats,
+                                   avoid_consistent_stores=opts.avoid_consistent_stores,
+                                   run_dataflow=(opts.avoid_consistent_stores
+                                                 and not opts.conservative_consistency))
+        stats.dataflow_iterations[fn.name] = iterations
+
+    def _process_reservations(self, state: ScanState, table: LifetimeTable,
+                              slots: SpillSlots, stats: AllocationStats,
+                              use_point: int, pre: list[Instr],
+                              locked: set[PhysReg]) -> None:
+        """Evict occupants of registers the convention claims during the
+        current instruction window ``[use_point, use_point + 2)``."""
+        window_end = use_point + 2
+        # Snapshot: an early-second-chance move inside _evict may add a
+        # fresh register key to the occupancy map.
+        for reg, claim in list(state.occupants.items()):
+            if not claim:
+                continue
+            if not table.reserved_for(reg).overlaps_interval(use_point, window_end):
+                continue
+            for temp in list(claim):
+                self._evict(state, table, slots, stats, temp, reg, use_point,
+                            pre, locked, allow_move=True)
+
+    def _try_move_elimination(self, state: ScanState, table: LifetimeTable,
+                              stats: AllocationStats, instr: Instr, dst: Temp,
+                              def_point: int) -> PhysReg | None:
+        """Section 2.5's move elimination: give the move's destination the
+        source's register when that register has a hole starting right
+        after the source use that is big enough for the destination."""
+        src = instr.uses[0]
+        if not isinstance(src, PhysReg):
+            return None  # the use pass rewrites resident sources to PhysReg
+        remaining = self._remaining_ranges(table, dst, def_point)
+        if table.reserved_for(src).overlaps(remaining):
+            return None
+        state.prune(src, def_point)
+        for occupant in state.occupants_of(src):
+            if self._occupant_ranges(table, occupant).overlaps(remaining):
+                return None
+        state.place(dst, src)
+        stats.moves_eliminated += 1
+        return src

@@ -1,0 +1,200 @@
+"""Resolution: reconciling the linear scan with the real CFG (Section 2.4).
+
+The scan records where every cross-block temporary lived at the top and
+bottom of each block.  For each CFG edge ``p -> s`` and each temporary
+live across it, the three mismatch cases of Section 2.4 are repaired:
+
+* register at ``p`` bottom, memory at ``s`` top → **store** (elided when
+  the register and memory home are known consistent);
+* memory → register → **load**;
+* two different registers → **move**, with the whole edge's moves treated
+  as one parallel copy and sequentialized "in the semantically-correct
+  order, even in the case where two (or more) temporaries swap their
+  allocated registers" — cycles are broken through the temporary's own
+  memory home, which needs no scratch register.
+
+Placement follows the paper's footnote: top of a single-predecessor
+head, bottom of a single-successor tail, otherwise the (critical) edge is
+split.  One extra guard the footnote leaves implicit: code placed at a
+block bottom sits *before* the terminator, so if the terminator reads a
+register the edge code writes, we split the edge instead.
+
+Consistency dataflow
+--------------------
+
+Stores elided during the scan (and at edges) relied on ``ARE_CONSISTENT``
+bits whose truth may be path-dependent.  The scan recorded, per block,
+``USED_CONSISTENCY`` (gen: relied on a non-local consistency assumption)
+and ``WROTE_TR`` (kill: the register was rewritten).  We solve the
+paper's equations
+
+    USED_C_out(b) = union of USED_C_in(s) over successors s
+    USED_C_in(b)  = USED_CONSISTENCY(b) | (USED_C_out(b) & ~WROTE_TR(b))
+
+and insert a store on each edge ``p -> s`` where ``USED_C_in(s)`` needs
+``t`` consistent but ``ARE_CONSISTENT(p)`` does not deliver it.  One
+refinement over the paper's text: an *edge* store elided because
+``ARE_CONSISTENT(p)`` was set is itself a non-local reliance when the
+bit was inherited rather than established in ``p``, so such edges
+contribute gen bits too (computed in a pre-pass before the dataflow).
+"""
+
+from __future__ import annotations
+
+from repro.allocators.base import AllocationStats, SharedAnalyses, SpillSlots
+from repro.allocators.binpack.state import MEM, Location, ScanState
+from repro.cfg.cfg import split_edge
+from repro.dataflow.framework import DataflowProblem, Direction, solve
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, SpillPhase
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.target.machine import MachineDescription
+
+
+def _move_op(cls: RegClass) -> Op:
+    return Op.MOV if cls is RegClass.GPR else Op.FMOV
+
+
+def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
+                        slots: SpillSlots,
+                        stats: AllocationStats) -> list[Instr]:
+    """Order one edge's parallel register moves; break cycles via memory.
+
+    ``moves`` holds ``(src, dst, temp)`` triples with pairwise-distinct
+    destinations (and pairwise-distinct sources).  A move is safe to emit
+    once no pending move still reads its destination; when only cycles
+    remain, one temp detours through its own memory home (store now, load
+    after the rest of its cycle has drained).
+    """
+    pending = [(src, dst, temp) for src, dst, temp in moves if src != dst]
+    out: list[Instr] = []
+    deferred: list[Instr] = []
+    while pending:
+        emitted = False
+        for i, (src, dst, temp) in enumerate(pending):
+            blocked = any(dst == other_src
+                          for j, (other_src, _, _) in enumerate(pending)
+                          if j != i)
+            if blocked:
+                continue
+            out.append(Instr(_move_op(temp.regclass), defs=[dst], uses=[src],
+                             spill_phase=SpillPhase.RESOLVE))
+            stats.bump_spill(SpillPhase.RESOLVE, "move")
+            pending.pop(i)
+            emitted = True
+            break
+        if not emitted:
+            src, dst, temp = pending.pop(0)
+            home = slots.home(temp)
+            out.append(Instr(Op.STS, uses=[src], slot=home,
+                             spill_phase=SpillPhase.RESOLVE))
+            stats.bump_spill(SpillPhase.RESOLVE, "store")
+            deferred.append(Instr(Op.LDS, defs=[dst], slot=home,
+                                  spill_phase=SpillPhase.RESOLVE))
+            stats.bump_spill(SpillPhase.RESOLVE, "load")
+    out.extend(deferred)
+    return out
+
+
+def _place_batch(fn: Function, shared: SharedAnalyses, pred: str, succ: str,
+                 batch: list[Instr]) -> None:
+    """Put the edge's repair code where the paper's footnote says."""
+    cfg = shared.cfg
+    # The entry block has an implicit predecessor (function entry), so
+    # edge code may never be hoisted to its top.
+    if cfg.in_degree(succ) == 1 and succ != cfg.entry:
+        fn.block(succ).insert_at_top(batch)
+        return
+    if cfg.out_degree(pred) == 1:
+        block = fn.block(pred)
+        term = block.terminator
+        written = {reg for instr in batch for reg in instr.defs}
+        if not any(use in written for use in term.uses):
+            block.insert_before_terminator(batch)
+            return
+    new_block = split_edge(fn, cfg, pred, succ)
+    new_block.insert_at_top(batch)
+
+
+def resolve_edges(fn: Function, machine: MachineDescription,
+                  shared: SharedAnalyses, state: ScanState, slots: SpillSlots,
+                  stats: AllocationStats, *, avoid_consistent_stores: bool,
+                  run_dataflow: bool) -> int:
+    """Run resolution over every CFG edge.  Returns the number of
+    iterations the consistency dataflow needed (0 when not run)."""
+    cfg = shared.cfg
+    liveness = shared.liveness
+    index = liveness.index
+    records = state.records
+    edges = cfg.edges()
+
+    def edge_traffic(pred: str, succ: str) -> list[tuple[Temp, Location, Location]]:
+        traffic = []
+        bottom = records[pred].bottom_loc
+        top = records[succ].top_loc
+        for temp in liveness.live_in_temps(succ):
+            traffic.append((temp, bottom[temp], top[temp]))
+        return traffic
+
+    # Pre-pass: gen bits contributed by stores we will elide *at edges*.
+    extra_gen: dict[str, int] = {label: 0 for label in records}
+    if run_dataflow:
+        for pred, succ in edges:
+            record = records[pred]
+            for temp, src, dst in edge_traffic(pred, succ):
+                if src is MEM or dst is not MEM:
+                    continue
+                bit = index.bit_or_none(temp)
+                if bit is None:
+                    continue
+                if (record.consistent_at_end >> bit & 1
+                        and not (record.wrote_tr >> bit & 1)):
+                    extra_gen[pred] |= 1 << bit
+
+    iterations = 0
+    used_c_in: dict[str, int] = {label: 0 for label in records}
+    if run_dataflow:
+        gen = {label: records[label].used_consistency | extra_gen[label]
+               for label in records}
+        kill = {label: records[label].wrote_tr for label in records}
+        result = solve(DataflowProblem(cfg, Direction.BACKWARD, gen, kill))
+        used_c_in = result.in_
+        iterations = result.iterations
+
+    for pred, succ in edges:
+        record = records[pred]
+        stores: list[Instr] = []
+        moves: list[tuple[PhysReg, PhysReg, Temp]] = []
+        loads: list[Instr] = []
+        for temp, src, dst in edge_traffic(pred, succ):
+            if isinstance(src, PhysReg):
+                bit = index.bit_or_none(temp)
+                consistent = (bit is not None
+                              and bool(record.consistent_at_end >> bit & 1))
+                needs_store = False
+                if dst is MEM:
+                    needs_store = not (avoid_consistent_stores and consistent)
+                elif (run_dataflow and bit is not None
+                        and used_c_in[succ] >> bit & 1 and not consistent):
+                    # A path from ``succ`` exploits consistency this edge
+                    # does not deliver (Section 2.4's insertion rule).
+                    needs_store = True
+                if needs_store:
+                    stores.append(Instr(Op.STS, uses=[src],
+                                        slot=slots.home(temp),
+                                        spill_phase=SpillPhase.RESOLVE))
+                    stats.bump_spill(SpillPhase.RESOLVE, "store")
+                if isinstance(dst, PhysReg) and dst != src:
+                    moves.append((src, dst, temp))
+            else:  # src is MEM; the scan guarantees dst in {MEM, reg}
+                if isinstance(dst, PhysReg):
+                    loads.append(Instr(Op.LDS, defs=[dst],
+                                       slot=slots.home(temp),
+                                       spill_phase=SpillPhase.RESOLVE))
+                    stats.bump_spill(SpillPhase.RESOLVE, "load")
+        if not (stores or moves or loads):
+            continue
+        batch = stores + sequentialize_moves(moves, slots, stats) + loads
+        _place_batch(fn, shared, pred, succ, batch)
+    return iterations

@@ -1,0 +1,198 @@
+"""Mutable state of the binpacking scan.
+
+The scan tracks, at every linear point:
+
+* which temporaries currently *occupy* each register (several may share a
+  register when all but one sit in lifetime holes — Figure 1's ``T3``
+  inside ``T1``'s hole);
+* each temporary's current location (a register, its memory home, or
+  nowhere during a hole after an eviction);
+* the ``ARE_CONSISTENT`` working bit vector of Section 2.4 — whether a
+  resident temporary's register agrees with its memory home — plus the
+  per-block ``WROTE_TR`` (kill) and ``USED_CONSISTENCY`` (gen) masks the
+  resolution dataflow consumes;
+* the location maps at the top and bottom of every block, which drive
+  edge resolution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cfg.cfg import CFG
+from repro.dataflow.liveness import LivenessInfo
+from repro.ir.temp import PhysReg, Temp
+from repro.lifetimes.intervals import LifetimeTable
+
+
+class Mem(enum.Enum):
+    """Sentinel location: the temporary lives in its memory home."""
+
+    MEM = "mem"
+
+    def __str__(self) -> str:
+        return "mem"
+
+
+#: A temporary's location at a block boundary.
+Location = PhysReg | Mem
+
+MEM = Mem.MEM
+
+
+@dataclass(eq=False)
+class BlockRecord:
+    """What the scan knew at one block's boundaries (Section 2.4's maps)."""
+
+    top_loc: dict[Temp, Location] = field(default_factory=dict)
+    bottom_loc: dict[Temp, Location] = field(default_factory=dict)
+    consistent_at_end: int = 0  # saved copy of ARE_CONSISTENT
+    wrote_tr: int = 0  # KILL set
+    used_consistency: int = 0  # GEN set
+
+
+class ScanState:
+    """Register-file occupancy and consistency bits during the scan."""
+
+    def __init__(self, table: LifetimeTable, liveness: LivenessInfo, cfg: CFG):
+        self.table = table
+        self.liveness = liveness
+        self.cfg = cfg
+        #: Temporaries with a claim on each register.  At any point at
+        #: most one occupant is live; the rest sit in lifetime holes.
+        self.occupants: dict[PhysReg, list[Temp]] = {}
+        #: Registers that have ever held a temporary — used to stop the
+        #: early-second-chance move from dragging a *fresh* callee-saved
+        #: register (and its prologue save/restore pair) into use just to
+        #: save one store.
+        self.ever_used: set[PhysReg] = set()
+        #: Current register of each temporary (absent/None = not resident).
+        self.loc: dict[Temp, PhysReg] = {}
+        #: ARE_CONSISTENT working vector (bit per indexed global temp).
+        self.consistent: int = 0
+        #: Block-local consistency flags for unindexed (block-local) temps.
+        self.local_consistent: set[Temp] = set()
+        #: Per-block records, filled as the scan proceeds.
+        self.records: dict[str, BlockRecord] = {}
+        self._wrote: int = 0
+        self._used: int = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy.
+    # ------------------------------------------------------------------
+    def occupants_of(self, reg: PhysReg) -> list[Temp]:
+        """Current claimants of ``reg`` (pruning finished lifetimes)."""
+        claim = self.occupants.get(reg)
+        if not claim:
+            return []
+        return claim
+
+    def prune(self, reg: PhysReg, point: int) -> None:
+        """Drop claimants whose lifetime has fully ended before ``point``."""
+        claim = self.occupants.get(reg)
+        if not claim:
+            return
+        keep = []
+        for t in claim:
+            if self.table.temps[t].end > point:
+                keep.append(t)
+            elif self.loc.get(t) == reg:
+                del self.loc[t]
+        self.occupants[reg] = keep
+
+    def place(self, temp: Temp, reg: PhysReg) -> None:
+        """Give ``temp`` a claim on ``reg`` and make it resident there."""
+        self.occupants.setdefault(reg, []).append(temp)
+        self.loc[temp] = reg
+        self.ever_used.add(reg)
+
+    def displace(self, temp: Temp) -> None:
+        """Remove ``temp``'s claim and residency (it no longer has a
+        register; its location is memory or nowhere)."""
+        reg = self.loc.pop(temp, None)
+        if reg is not None:
+            claim = self.occupants.get(reg)
+            if claim and temp in claim:
+                claim.remove(temp)
+
+    # ------------------------------------------------------------------
+    # Consistency bits (Section 2.3/2.4).
+    # ------------------------------------------------------------------
+    def _bit(self, temp: Temp) -> int | None:
+        return self.liveness.index.bit_or_none(temp)
+
+    def is_consistent(self, temp: Temp) -> bool:
+        """The ``A_t`` bit: register contents match the memory home."""
+        bit = self._bit(temp)
+        if bit is None:
+            return temp in self.local_consistent
+        return bool(self.consistent >> bit & 1)
+
+    def set_consistent(self, temp: Temp) -> None:
+        """A spill to or from memory makes register and memory agree."""
+        bit = self._bit(temp)
+        if bit is None:
+            self.local_consistent.add(temp)
+        else:
+            self.consistent |= 1 << bit
+
+    def clear_consistent(self, temp: Temp) -> None:
+        """A write to the register invalidates the memory home; also
+        records the ``WROTE_TR`` kill bit for the resolution dataflow."""
+        bit = self._bit(temp)
+        if bit is None:
+            self.local_consistent.discard(temp)
+        else:
+            self.consistent &= ~(1 << bit)
+            self._wrote |= 1 << bit
+
+    def note_consistency_used(self, temp: Temp) -> None:
+        """A spill store was inhibited because ``A_t`` was set.  When the
+        register was not written in this block (``W_t`` clear), the
+        assumption is non-local and the ``USED_CONSISTENCY`` gen bit is
+        raised (Section 2.4)."""
+        bit = self._bit(temp)
+        if bit is None:
+            return
+        if not (self._wrote >> bit & 1):
+            self._used |= 1 << bit
+
+    # ------------------------------------------------------------------
+    # Block boundaries.
+    # ------------------------------------------------------------------
+    def begin_block(self, label: str) -> BlockRecord:
+        """Open a block: reset the per-block masks and record the top
+        location of every temporary live into it."""
+        record = BlockRecord()
+        self.records[label] = record
+        self._wrote = 0
+        self._used = 0
+        self.local_consistent.clear()
+        for t in self.liveness.live_in_temps(label):
+            record.top_loc[t] = self.loc.get(t, MEM)
+        return record
+
+    def end_block(self, label: str) -> BlockRecord:
+        """Close a block: record bottom locations, save the working
+        ``ARE_CONSISTENT`` copy and the gen/kill masks."""
+        record = self.records[label]
+        for t in self.liveness.live_out_temps(label):
+            record.bottom_loc[t] = self.loc.get(t, MEM)
+        record.consistent_at_end = self.consistent
+        record.wrote_tr = self._wrote
+        record.used_consistency = self._used
+        return record
+
+    def reinit_consistency_conservative(self, label: str) -> None:
+        """Section 2.6's strictly-linear alternative: at each block top,
+        reinitialize ``ARE_CONSISTENT`` to the intersection of the saved
+        vectors of all already-scanned predecessors, treating unscanned
+        predecessors as all-clear."""
+        preds = self.cfg.preds.get(label, [])
+        mask = 0
+        for i, pred in enumerate(preds):
+            record = self.records.get(pred)
+            saved = record.consistent_at_end if record is not None else 0
+            mask = saved if i == 0 else mask & saved
+        self.consistent = mask

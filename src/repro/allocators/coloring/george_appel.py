@@ -1,0 +1,437 @@
+"""Iterated register coalescing (George & Appel), the comparison allocator.
+
+This follows the published worklist algorithm — Simplify / Coalesce /
+Freeze / SelectSpill driving nodes onto the select stack, Briggs
+conservative coalescing between temporaries and the George test against
+precolored registers, optimistic color assignment, and a spill-and-
+iterate outer loop ("if the heuristic fails, some register candidates are
+spilled to memory, spill code is inserted for their occurrences, and the
+whole process repeats", Section 1).
+
+Per the paper's Section 3:
+
+* the two register files are colored **separately** ("our graph-coloring
+  allocator deals separately with general-purpose registers and
+  floating-point registers");
+* adjacency lives in a lower-triangular bit matrix
+  (:class:`~repro.allocators.coloring.ifgraph.TriangularBitMatrix`);
+* liveness is computed **once**, before allocation; each build round
+  filters the per-block live-out sets down to temporaries still present
+  in the code, which is sound because spill code only introduces
+  block-local temporaries ("global liveness information is not affected
+  by such temporaries");
+* loop depth weights the spill costs exactly as it weights the
+  binpacking allocator's eviction priority.
+
+Worklists are backed by insertion-ordered dicts so the allocator is
+deterministic run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.allocators.base import (
+    AllocationError,
+    AllocationStats,
+    RegisterAllocator,
+    SharedAnalyses,
+    SpillSlots,
+)
+from repro.allocators.coloring.ifgraph import InterferenceGraph, Node
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, SpillPhase
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.target.machine import MachineDescription
+
+
+class _OrderedSet:
+    """A set with deterministic (insertion) iteration order."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self, items: Iterable | None = None):
+        self._d: dict = dict.fromkeys(items or ())
+
+    def add(self, item) -> None:
+        self._d[item] = None
+
+    def discard(self, item) -> None:
+        self._d.pop(item, None)
+
+    def pop_first(self):
+        item = next(iter(self._d))
+        del self._d[item]
+        return item
+
+    def __contains__(self, item) -> bool:
+        return item in self._d
+
+    def __iter__(self):
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)
+
+
+class _ClassColoring:
+    """One register class of one function, across all coloring rounds."""
+
+    #: Spill-generated temporaries get their occurrence cost multiplied by
+    #: this factor so SelectSpill avoids re-spilling them (they are point
+    #: lifetimes with tiny degree, so this never blocks termination).
+    SPILL_TEMP_COST_FACTOR = 1e9
+
+    def __init__(self, fn: Function, machine: MachineDescription,
+                 shared: SharedAnalyses, regclass: RegClass,
+                 slots: SpillSlots, stats: AllocationStats):
+        self.fn = fn
+        self.machine = machine
+        self.shared = shared
+        self.regclass = regclass
+        self.slots = slots
+        self.stats = stats
+        self.k = machine.file_size(regclass)
+        self.precolored_regs = list(machine.regs(regclass))
+        # Color preference: caller-saved first; a temporary that can live
+        # in a caller-saved register should, so the callee-save prologue
+        # stays small.
+        self.color_order = (list(machine.caller_saved(regclass))
+                            + list(machine.callee_saved(regclass)))
+        self.spill_generated: set[Temp] = set()
+        self.rounds = 0
+        self.total_edges = 0
+
+    # ------------------------------------------------------------------
+    # Outer loop.
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Color until no node spills, then rewrite temps to registers."""
+        while True:
+            self.rounds += 1
+            self._init_round()
+            self._build()
+            self.total_edges += self.graph.edge_count()
+            self._make_worklists()
+            while (self.simplify_wl or self.worklist_moves
+                   or self.freeze_wl or self.spill_wl):
+                if self.simplify_wl:
+                    self._simplify()
+                elif self.worklist_moves:
+                    self._coalesce()
+                elif self.freeze_wl:
+                    self._freeze()
+                else:
+                    self._select_spill()
+            self._assign_colors()
+            if not self.spilled_nodes:
+                break
+            self._rewrite_spills()
+        self._apply_colors()
+
+    def _init_round(self) -> None:
+        # Candidates are the temporaries that *occur in the code* this
+        # round — not fn.all_temps(), which also lists parameters whose
+        # occurrences a previous round's spill rewriting replaced (such a
+        # ghost would re-seed the live sets and spill forever).
+        present: dict[Temp, None] = {}
+        for instr in self.fn.instructions():
+            for t in instr.temps():
+                present.setdefault(t, None)
+        self.initial: list[Temp] = [
+            t for t in present if t.regclass is self.regclass]
+        self.graph = InterferenceGraph(self.precolored_regs, self.initial)
+        self.simplify_wl = _OrderedSet()
+        self.freeze_wl = _OrderedSet()
+        self.spill_wl = _OrderedSet()
+        self.spilled_nodes = _OrderedSet()
+        self.coalesced_nodes: set[Node] = set()
+        self.colored_nodes: set[Node] = set()
+        self.select_stack: list[Node] = []
+        self.select_set: set[Node] = set()
+        self.coalesced_moves = _OrderedSet()
+        self.constrained_moves = _OrderedSet()
+        self.frozen_moves = _OrderedSet()
+        self.worklist_moves = _OrderedSet()
+        self.active_moves = _OrderedSet()
+        self.move_list: dict[Node, _OrderedSet] = {}
+        self.alias: dict[Node, Node] = {}
+        self.color: dict[Node, PhysReg] = {r: r for r in self.precolored_regs}
+        self.cost: dict[Temp, float] = {t: 0.0 for t in self.initial}
+
+    # ------------------------------------------------------------------
+    # Build.
+    # ------------------------------------------------------------------
+    def _class_regs(self, regs: Iterable) -> list[Node]:
+        return [r for r in regs if r.regclass is self.regclass]
+
+    def _build(self) -> None:
+        liveness = self.shared.liveness
+        loops = self.shared.loops
+        caller_saved = list(self.machine.caller_saved(self.regclass))
+        in_code = set(self.initial)
+        depth_weight = {}
+        for block in self.fn.blocks:
+            depth = loops.depth_of(block.label)
+            depth_weight[block.label] = float(10 ** min(depth, 12))
+
+        for block in self.fn.blocks:
+            weight = depth_weight[block.label]
+            live: set[Node] = {t for t in liveness.live_out_temps(block.label)
+                               if t.regclass is self.regclass and t in in_code}
+            for instr in reversed(block.instrs):
+                defs = self._class_regs(instr.defs)
+                uses = self._class_regs(instr.uses)
+                for node in defs + uses:
+                    if isinstance(node, Temp):
+                        self.cost[node] = self.cost.get(node, 0.0) + weight
+                if instr.is_move and defs and uses:
+                    live -= set(uses)
+                    for node in (*defs, *uses):
+                        self.move_list.setdefault(node, _OrderedSet()).add(instr)
+                    self.worklist_moves.add(instr)
+                clobbers = list(defs)
+                if instr.is_call:
+                    clobbers.extend(caller_saved)
+                live.update(clobbers)
+                for d in clobbers:
+                    for l in live:
+                        self.graph.add_edge(l, d)
+                live.difference_update(clobbers)
+                live.update(uses)
+
+    def _make_worklists(self) -> None:
+        for t in self.initial:
+            if self.graph.degree[t] >= self.k:
+                self.spill_wl.add(t)
+            elif self._move_related(t):
+                self.freeze_wl.add(t)
+            else:
+                self.simplify_wl.add(t)
+
+    # ------------------------------------------------------------------
+    # Worklist machinery (Appel's pseudocode, names kept recognizable).
+    # ------------------------------------------------------------------
+    def _adjacent(self, n: Node) -> list[Node]:
+        return [m for m in self.graph.adj_list[n]
+                if m not in self.select_set and m not in self.coalesced_nodes]
+
+    def _node_moves(self, n: Node) -> list[Instr]:
+        moves = self.move_list.get(n)
+        if not moves:
+            return []
+        return [m for m in moves
+                if m in self.active_moves or m in self.worklist_moves]
+
+    def _move_related(self, n: Node) -> bool:
+        return bool(self._node_moves(n))
+
+    def _simplify(self) -> None:
+        n = self.simplify_wl.pop_first()
+        self.select_stack.append(n)
+        self.select_set.add(n)
+        for m in self._adjacent(n):
+            self._decrement_degree(m)
+
+    def _decrement_degree(self, m: Node) -> None:
+        d = self.graph.degree[m]
+        self.graph.degree[m] = d - 1
+        if d == self.k and m not in self.graph.precolored:
+            self._enable_moves([m, *self._adjacent(m)])
+            self.spill_wl.discard(m)
+            if self._move_related(m):
+                self.freeze_wl.add(m)
+            else:
+                self.simplify_wl.add(m)
+
+    def _enable_moves(self, nodes: Iterable[Node]) -> None:
+        for n in nodes:
+            for m in self._node_moves(n):
+                if m in self.active_moves:
+                    self.active_moves.discard(m)
+                    self.worklist_moves.add(m)
+
+    def _coalesce(self) -> None:
+        m = self.worklist_moves.pop_first()
+        x = self._get_alias(m.defs[0])
+        y = self._get_alias(m.uses[0])
+        if y in self.graph.precolored:
+            u, v = y, x
+        else:
+            u, v = x, y
+        if u == v:
+            self.coalesced_moves.add(m)
+            self._add_work_list(u)
+        elif v in self.graph.precolored or self.graph.interferes(u, v):
+            self.constrained_moves.add(m)
+            self._add_work_list(u)
+            self._add_work_list(v)
+        elif ((u in self.graph.precolored
+               and all(self._george_ok(t, u) for t in self._adjacent(v)))
+              or (u not in self.graph.precolored
+                  and self._briggs_conservative(
+                      {*self._adjacent(u), *self._adjacent(v)}))):
+            self.coalesced_moves.add(m)
+            self._combine(u, v)
+            self._add_work_list(u)
+        else:
+            self.active_moves.add(m)
+
+    def _add_work_list(self, u: Node) -> None:
+        if (u not in self.graph.precolored and not self._move_related(u)
+                and self.graph.degree[u] < self.k):
+            self.freeze_wl.discard(u)
+            self.simplify_wl.add(u)
+
+    def _george_ok(self, t: Node, r: Node) -> bool:
+        return (self.graph.degree[t] < self.k or t in self.graph.precolored
+                or self.graph.interferes(t, r))
+
+    def _briggs_conservative(self, nodes: set[Node]) -> bool:
+        significant = sum(1 for n in nodes if self.graph.degree[n] >= self.k)
+        return significant < self.k
+
+    def _get_alias(self, n: Node) -> Node:
+        while n in self.coalesced_nodes:
+            n = self.alias[n]
+        return n
+
+    def _combine(self, u: Node, v: Node) -> None:
+        if v in self.freeze_wl:
+            self.freeze_wl.discard(v)
+        else:
+            self.spill_wl.discard(v)
+        self.coalesced_nodes.add(v)
+        self.alias[v] = u
+        u_moves = self.move_list.setdefault(u, _OrderedSet())
+        for mv in self.move_list.get(v, _OrderedSet()):
+            u_moves.add(mv)
+        self._enable_moves([v])
+        for t in self._adjacent(v):
+            self.graph.add_edge(t, u)
+            self._decrement_degree(t)
+        if self.graph.degree[u] >= self.k and u in self.freeze_wl:
+            self.freeze_wl.discard(u)
+            self.spill_wl.add(u)
+
+    def _freeze(self) -> None:
+        u = self.freeze_wl.pop_first()
+        self.simplify_wl.add(u)
+        self._freeze_moves(u)
+
+    def _freeze_moves(self, u: Node) -> None:
+        for m in self._node_moves(u):
+            x, y = m.defs[0], m.uses[0]
+            if self._get_alias(y) == self._get_alias(u):
+                v = self._get_alias(x)
+            else:
+                v = self._get_alias(y)
+            self.active_moves.discard(m)
+            self.frozen_moves.add(m)
+            if (v not in self.graph.precolored and not self._node_moves(v)
+                    and self.graph.degree[v] < self.k):
+                self.freeze_wl.discard(v)
+                self.simplify_wl.add(v)
+
+    def _select_spill(self) -> None:
+        def metric(t: Temp) -> float:
+            cost = self.cost.get(t, 0.0)
+            if t in self.spill_generated:
+                cost *= self.SPILL_TEMP_COST_FACTOR
+            return cost / max(self.graph.degree[t], 1)
+
+        m = min(self.spill_wl, key=metric)
+        self.spill_wl.discard(m)
+        self.simplify_wl.add(m)
+        self._freeze_moves(m)
+
+    # ------------------------------------------------------------------
+    # Color assignment and spill rewriting.
+    # ------------------------------------------------------------------
+    def _assign_colors(self) -> None:
+        while self.select_stack:
+            n = self.select_stack.pop()
+            self.select_set.discard(n)
+            forbidden: set[PhysReg] = set()
+            for w in self.graph.adj_list[n]:
+                w = self._get_alias(w)
+                if w in self.colored_nodes or w in self.graph.precolored:
+                    forbidden.add(self.color[w])
+            chosen = next((c for c in self.color_order if c not in forbidden),
+                          None)
+            if chosen is None:
+                self.spilled_nodes.add(n)
+            else:
+                self.colored_nodes.add(n)
+                self.color[n] = chosen
+
+    def _rewrite_spills(self) -> None:
+        spilled = set(self.spilled_nodes)
+        for block in self.fn.blocks:
+            rewritten: list[Instr] = []
+            for instr in block.instrs:
+                pre: list[Instr] = []
+                post: list[Instr] = []
+                fresh: dict[Temp, Temp] = {}
+                for i, use in enumerate(instr.uses):
+                    if use in spilled:
+                        t = fresh.get(use)
+                        if t is None:
+                            t = self.fn.new_temp(self.regclass)
+                            fresh[use] = t
+                            self.spill_generated.add(t)
+                            pre.append(Instr(Op.LDS, defs=[t],
+                                             slot=self.slots.home(use),
+                                             spill_phase=SpillPhase.EVICT))
+                            self.stats.bump_spill(SpillPhase.EVICT, "load")
+                        instr.uses[i] = t
+                for i, dst in enumerate(instr.defs):
+                    if dst in spilled:
+                        t = self.fn.new_temp(self.regclass)
+                        self.spill_generated.add(t)
+                        post.append(Instr(Op.STS, uses=[t],
+                                          slot=self.slots.home(dst),
+                                          spill_phase=SpillPhase.EVICT))
+                        self.stats.bump_spill(SpillPhase.EVICT, "store")
+                        instr.defs[i] = t
+                rewritten.extend(pre)
+                rewritten.append(instr)
+                rewritten.extend(post)
+            block.instrs = rewritten
+
+    def _apply_colors(self) -> None:
+        for instr in self.fn.instructions():
+            for operands in (instr.defs, instr.uses):
+                for i, reg in enumerate(operands):
+                    if isinstance(reg, Temp) and reg.regclass is self.regclass:
+                        node = self._get_alias(reg)
+                        try:
+                            operands[i] = self.color[node]
+                        except KeyError:
+                            raise AllocationError(
+                                f"{self.fn.name}: no color for {reg} "
+                                f"(alias {node})") from None
+
+
+class GraphColoring(RegisterAllocator):
+    """George–Appel iterated register coalescing over both register files."""
+
+    def __init__(self) -> None:
+        self.name = "graph coloring"
+
+    def allocate_function(self, fn: Function, machine: MachineDescription,
+                          shared: SharedAnalyses, slots: SpillSlots,
+                          stats: AllocationStats) -> None:
+        rounds = 0
+        edges = 0
+        for regclass in (RegClass.GPR, RegClass.FPR):
+            coloring = _ClassColoring(fn, machine, shared, regclass, slots, stats)
+            coloring.run()
+            rounds += coloring.rounds
+            edges += coloring.total_edges
+        stats.coloring_iterations[fn.name] = rounds
+        stats.interference_edges[fn.name] = edges

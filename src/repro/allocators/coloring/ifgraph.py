@@ -1,0 +1,105 @@
+"""Interference graphs over one register class.
+
+Nodes are physical registers (precolored) and temporaries.  The adjacency
+relation is stored two ways, following George & Appel: a constant-time
+membership structure (here the paper's lower-triangular bit matrix,
+Section 3: "we use a lower-triangular bit matrix, rather than a hash
+table, to record the adjacency relation") and adjacency lists for the
+non-precolored nodes.  Precolored nodes have effectively infinite degree
+and carry no adjacency lists.
+"""
+
+from __future__ import annotations
+
+from repro.ir.temp import PhysReg, Temp
+
+#: A node of the interference graph.
+Node = Temp | PhysReg
+
+
+class TriangularBitMatrix:
+    """A lower-triangular bit matrix over ``n`` indexed nodes.
+
+    ``set(i, j)``/``test(i, j)`` are symmetric; the pair is stored once at
+    row ``max(i, j)``, column ``min(i, j)``.  Backed by a ``bytearray`` so
+    single-bit updates are O(1).
+    """
+
+    __slots__ = ("n", "_bits")
+
+    def __init__(self, n: int):
+        self.n = n
+        self._bits = bytearray((n * (n - 1) // 2 + 7) // 8)
+
+    @staticmethod
+    def _index(i: int, j: int) -> int:
+        if i < j:
+            i, j = j, i
+        return i * (i - 1) // 2 + j
+
+    def set(self, i: int, j: int) -> None:
+        """Mark nodes ``i`` and ``j`` as adjacent (no-op on the diagonal)."""
+        if i == j:
+            return
+        k = self._index(i, j)
+        self._bits[k >> 3] |= 1 << (k & 7)
+
+    def test(self, i: int, j: int) -> bool:
+        """True when nodes ``i`` and ``j`` are adjacent."""
+        if i == j:
+            return False
+        k = self._index(i, j)
+        return bool(self._bits[k >> 3] >> (k & 7) & 1)
+
+    def popcount(self) -> int:
+        """Number of distinct adjacent pairs (the graph's edge count)."""
+        return sum(byte.bit_count() for byte in self._bits)
+
+
+class InterferenceGraph:
+    """Adjacency for one coloring round.
+
+    Attributes:
+        nodes: All nodes, precolored registers first (their indices are
+            stable across queries).
+        matrix: The triangular bit matrix over node indices.
+        adj_list: Neighbour sets for non-precolored nodes only.
+        degree: Current degree per node (precolored: a huge constant).
+    """
+
+    #: Effectively-infinite degree for precolored nodes.
+    INFINITE = 1 << 30
+
+    def __init__(self, precolored: list[PhysReg], temps: list[Temp]):
+        self.nodes: list[Node] = [*precolored, *temps]
+        self.index: dict[Node, int] = {n: i for i, n in enumerate(self.nodes)}
+        self.precolored: set[Node] = set(precolored)
+        self.matrix = TriangularBitMatrix(len(self.nodes))
+        self.adj_list: dict[Node, set[Node]] = {t: set() for t in temps}
+        self.degree: dict[Node, int] = {t: 0 for t in temps}
+        for reg in precolored:
+            self.degree[reg] = self.INFINITE
+
+    def add_edge(self, u: Node, v: Node) -> None:
+        """Record interference between ``u`` and ``v`` (idempotent)."""
+        if u == v:
+            return
+        i, j = self.index[u], self.index[v]
+        if self.matrix.test(i, j):
+            return
+        self.matrix.set(i, j)
+        if u not in self.precolored:
+            self.adj_list[u].add(v)
+            self.degree[u] += 1
+        if v not in self.precolored:
+            self.adj_list[v].add(u)
+            self.degree[v] += 1
+
+    def interferes(self, u: Node, v: Node) -> bool:
+        """Constant-time adjacency test (the bit-matrix query)."""
+        return self.matrix.test(self.index[u], self.index[v])
+
+    def edge_count(self) -> int:
+        """Distinct interference edges (Table 3's 'interference graph
+        edges' column)."""
+        return self.matrix.popcount()

@@ -1,0 +1,5 @@
+"""The classic linear-scan allocator of the paper's related work."""
+
+from repro.allocators.linearscan.poletto import PolettoLinearScan
+
+__all__ = ["PolettoLinearScan"]

@@ -1,0 +1,62 @@
+"""Shared rewrite machinery for whole-lifetime allocators.
+
+Both the two-pass binpacking baseline and the Poletto linear scan assign
+each temporary a single home for its entire lifetime — a register or its
+memory slot — and then rewrite the code in a second pass.  References to
+memory-resident temporaries become the "point lifetimes" of Section 2.2:
+a load into a scratch register before each use, a store from a scratch
+register after each def.
+"""
+
+from __future__ import annotations
+
+from repro.allocators.base import AllocationStats, SpillSlots
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, SpillPhase
+from repro.ir.temp import PhysReg, Temp
+
+
+def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
+                           stats: AllocationStats,
+                           assignment: dict[Temp, PhysReg],
+                           scratch: dict[tuple[Instr, Temp], PhysReg]) -> None:
+    """Apply a whole-lifetime allocation decision to ``fn`` in place.
+
+    ``assignment`` maps register-resident temporaries to their register;
+    every other temporary is memory-resident and must have a ``scratch``
+    register recorded for each instruction that references it.
+    """
+    for block in fn.blocks:
+        rewritten: list[Instr] = []
+        for instr in block.instrs:
+            pre: list[Instr] = []
+            post: list[Instr] = []
+            loaded: set[Temp] = set()
+            for i, use in enumerate(instr.uses):
+                if not isinstance(use, Temp):
+                    continue
+                reg = assignment.get(use)
+                if reg is None:
+                    reg = scratch[(instr, use)]
+                    if use not in loaded:
+                        pre.append(Instr(Op.LDS, defs=[reg],
+                                         slot=slots.home(use),
+                                         spill_phase=SpillPhase.EVICT))
+                        stats.bump_spill(SpillPhase.EVICT, "load")
+                        loaded.add(use)
+                instr.uses[i] = reg
+            for i, dst in enumerate(instr.defs):
+                if not isinstance(dst, Temp):
+                    continue
+                reg = assignment.get(dst)
+                if reg is None:
+                    reg = scratch[(instr, dst)]
+                    post.append(Instr(Op.STS, uses=[reg],
+                                      slot=slots.home(dst),
+                                      spill_phase=SpillPhase.EVICT))
+                    stats.bump_spill(SpillPhase.EVICT, "store")
+                instr.defs[i] = reg
+            rewritten.extend(pre)
+            rewritten.append(instr)
+            rewritten.extend(post)
+        block.instrs = rewritten

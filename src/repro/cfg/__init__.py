@@ -1,0 +1,22 @@
+"""Control-flow graph construction and analyses.
+
+These are the "shared libraries" of the paper's fair-comparison setup
+(Section 3): CFG construction, loop-depth analysis, and (in
+:mod:`repro.dataflow`) liveness are computed once, before register
+allocation, and both allocators consume the same results.
+"""
+
+from repro.cfg.cfg import CFG, split_edge
+from repro.cfg.dominators import DominatorTree
+from repro.cfg.loops import LoopInfo, NaturalLoop
+from repro.cfg.order import layout_order, reorder_reverse_postorder
+
+__all__ = [
+    "CFG",
+    "DominatorTree",
+    "LoopInfo",
+    "NaturalLoop",
+    "layout_order",
+    "reorder_reverse_postorder",
+    "split_edge",
+]

@@ -1,0 +1,73 @@
+"""Natural-loop detection and per-block loop depth.
+
+Loop depth is the weight both allocators use: the binpacking spill
+heuristic weights next-reference distance by loop depth (Section 2.3),
+and the coloring allocator weights occurrence counts the same way
+(Section 3: "loop depth is used in the same way to weight occurrence
+counts in both allocators").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.cfg import CFG
+from repro.cfg.dominators import DominatorTree
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A natural loop: its header and full body (including the header)."""
+
+    header: str
+    body: frozenset[str]
+
+    def __contains__(self, label: str) -> bool:
+        return label in self.body
+
+
+@dataclass(eq=False)
+class LoopInfo:
+    """All natural loops of a CFG plus the derived per-block nesting depth.
+
+    Blocks outside every loop have depth 0.  Irreducible cycles (possible
+    in randomly generated IR, never in frontend output) contribute no
+    natural loop and therefore depth 0 — a conservative weight.
+    """
+
+    loops: list[NaturalLoop]
+    depth: dict[str, int]
+
+    @classmethod
+    def build(cls, cfg: CFG) -> "LoopInfo":
+        """Find back edges (edge ``t -> h`` where ``h`` dominates ``t``)
+        and flood each loop body backward from the latch."""
+        dom = DominatorTree.build(cfg)
+        reachable = cfg.reachable()
+        bodies: dict[str, set[str]] = {}
+        for tail, head in cfg.edges():
+            if tail not in reachable or head not in reachable:
+                continue
+            if not dom.dominates(head, tail):
+                continue
+            body = bodies.setdefault(head, {head})
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(cfg.preds[node])
+            bodies[head] = body
+
+        loops = [NaturalLoop(header, frozenset(body))
+                 for header, body in sorted(bodies.items())]
+        depth = {b.label: 0 for b in cfg.fn.blocks}
+        for loop in loops:
+            for label in loop.body:
+                depth[label] += 1
+        return cls(loops, depth)
+
+    def depth_of(self, label: str) -> int:
+        """Loop-nesting depth of a block (0 outside all loops)."""
+        return self.depth.get(label, 0)

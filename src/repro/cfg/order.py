@@ -1,0 +1,35 @@
+"""Linear block orderings.
+
+The linear-scan family is defined over "the static linear order of the
+code" (Section 1) — in this repo, the order of ``Function.blocks``.  The
+frontend emits blocks in source order, which is the natural layout a
+compiler like SUIF would produce.  ``reorder_reverse_postorder`` offers an
+alternative ordering as an ablation knob: linear-scan quality is sensitive
+to the block order, and the benchmark suite measures how much.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.cfg import CFG
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+
+
+def layout_order(fn: Function) -> list[BasicBlock]:
+    """The function's current linear order (identity helper, for clarity)."""
+    return list(fn.blocks)
+
+
+def reorder_reverse_postorder(fn: Function) -> None:
+    """Reorder ``fn.blocks`` into reverse postorder, unreachables last.
+
+    Keeps the entry block first by construction.  Mutates the function;
+    analyses computed before the reorder are invalidated.
+    """
+    cfg = CFG.build(fn)
+    rpo = cfg.reverse_postorder()
+    position = {label: i for i, label in enumerate(rpo)}
+    unreachable = [b for b in fn.blocks if b.label not in position]
+    ordered = sorted((b for b in fn.blocks if b.label in position),
+                     key=lambda b: position[b.label])
+    fn.blocks[:] = ordered + unreachable

@@ -1,0 +1,24 @@
+"""Bit-vector dataflow: the shared liveness analysis and a generic solver.
+
+Python's arbitrary-precision integers *are* bit vectors (word-parallel
+``&``/``|``/``~`` like the paper's implementation), so sets of temporaries
+are represented as plain ``int`` masks over a :class:`TempIndex`.
+Following Section 3, only temporaries live across basic-block boundaries
+get bit positions; block-local temporaries are excluded, "which greatly
+reduces bit vector sizes".
+"""
+
+from repro.dataflow.bitvector import TempIndex, bits_of, popcount
+from repro.dataflow.framework import DataflowProblem, Direction, solve
+from repro.dataflow.liveness import LivenessInfo, compute_liveness
+
+__all__ = [
+    "DataflowProblem",
+    "Direction",
+    "LivenessInfo",
+    "TempIndex",
+    "bits_of",
+    "compute_liveness",
+    "popcount",
+    "solve",
+]

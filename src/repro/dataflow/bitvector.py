@@ -1,0 +1,72 @@
+"""Integer bit vectors and the temporary <-> bit-position index.
+
+All block-level dataflow in this repo (liveness here, the binpacking
+``USED_CONSISTENCY`` analysis in the allocator) manipulates ``int`` masks;
+a :class:`TempIndex` fixes which temporary owns which bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.ir.temp import Temp
+
+
+def bits_of(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits."""
+    return mask.bit_count()
+
+
+@dataclass(eq=False)
+class TempIndex:
+    """A bijection between a chosen set of temporaries and bit positions.
+
+    Temporaries not in the index (block-local ones, under the paper's
+    Section 3 optimization) simply have no bit; ``bit_or_none`` returns
+    ``None`` for them and mask construction skips them.
+    """
+
+    temps: list[Temp]
+    _position: dict[Temp, int]
+
+    @classmethod
+    def of(cls, temps: Iterable[Temp]) -> "TempIndex":
+        """Index ``temps`` in their given (deterministic) order."""
+        ordered = list(temps)
+        return cls(ordered, {t: i for i, t in enumerate(ordered)})
+
+    def __len__(self) -> int:
+        return len(self.temps)
+
+    def __contains__(self, temp: Temp) -> bool:
+        return temp in self._position
+
+    def bit(self, temp: Temp) -> int:
+        """The bit position of ``temp``; raises ``KeyError`` if unindexed."""
+        return self._position[temp]
+
+    def bit_or_none(self, temp: Temp) -> int | None:
+        """The bit position of ``temp``, or ``None`` if unindexed."""
+        return self._position.get(temp)
+
+    def mask_of(self, temps: Iterable[Temp]) -> int:
+        """A mask with one bit per *indexed* temp in ``temps``."""
+        mask = 0
+        for t in temps:
+            pos = self._position.get(t)
+            if pos is not None:
+                mask |= 1 << pos
+        return mask
+
+    def temps_of(self, mask: int) -> list[Temp]:
+        """The temporaries selected by ``mask``."""
+        return [self.temps[i] for i in bits_of(mask)]

@@ -1,0 +1,95 @@
+"""A small generic iterative bit-vector dataflow solver.
+
+Both block-level analyses in this repo are classic GEN/KILL union
+problems — backward liveness, and the binpacking allocator's
+``USED_CONSISTENCY`` propagation (Section 2.4):
+
+    USED_C_out(b) = union over successors s of USED_C_in(s)
+    USED_C_in(b)  = USED_CONSISTENCY(b) | (USED_C_out(b) & ~WROTE_TR(b))
+
+The solver runs a worklist to a fixed point.  The paper observes that
+"the standard method ... terminates in two or three iterations at most"
+(Section 2.6); the benchmark suite verifies that observation holds here
+by reporting iteration counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cfg.cfg import CFG
+
+
+class Direction(enum.Enum):
+    """Dataflow direction."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@dataclass(eq=False)
+class DataflowProblem:
+    """A union GEN/KILL problem over a CFG.
+
+    For ``BACKWARD`` problems: ``out(b) = union of in(s) for successors``
+    and ``in(b) = gen(b) | (out(b) & ~kill(b))``.  ``FORWARD`` problems
+    are the mirror image over predecessors.
+    """
+
+    cfg: CFG
+    direction: Direction
+    gen: dict[str, int]
+    kill: dict[str, int]
+    boundary: int = 0  # the meet value for blocks with no successors/preds
+
+
+@dataclass
+class DataflowResult:
+    """Fixed-point ``in``/``out`` masks plus solver statistics."""
+
+    in_: dict[str, int]
+    out: dict[str, int]
+    iterations: int
+
+
+def solve(problem: DataflowProblem) -> DataflowResult:
+    """Iterate the problem's equations to a fixed point (worklist order:
+    postorder for backward problems, reverse postorder for forward)."""
+    cfg = problem.cfg
+    labels = [b.label for b in cfg.fn.blocks]
+    in_ = {label: 0 for label in labels}
+    out = {label: 0 for label in labels}
+    backward = problem.direction is Direction.BACKWARD
+    order = cfg.postorder() if backward else cfg.reverse_postorder()
+    # Include unreachable blocks so every label has a defined value.
+    tail = [label for label in labels if label not in set(order)]
+    order = order + tail
+
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for label in order:
+            if backward:
+                succs = cfg.succs[label]
+                meet = problem.boundary if not succs else 0
+                for s in succs:
+                    meet |= in_[s]
+                out[label] = meet
+                new_in = problem.gen[label] | (meet & ~problem.kill[label])
+                if new_in != in_[label]:
+                    in_[label] = new_in
+                    changed = True
+            else:
+                preds = cfg.preds[label]
+                meet = problem.boundary if not preds else 0
+                for p in preds:
+                    meet |= out[p]
+                in_[label] = meet
+                new_out = problem.gen[label] | (meet & ~problem.kill[label])
+                if new_out != out[label]:
+                    out[label] = new_out
+                    changed = True
+    return DataflowResult(in_, out, iterations)

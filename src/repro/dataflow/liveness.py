@@ -1,0 +1,91 @@
+"""Block-level liveness over the cross-block ("global") temporaries.
+
+Per the paper's Section 3, "temporaries that are live only within a single
+basic block are excluded from dataflow analysis".  A temporary is *global*
+exactly when some block reads it without first writing it (it is upward
+exposed somewhere); every other temporary's liveness is confined to single
+blocks and is recovered later by the lifetime scan without any dataflow.
+
+Liveness is computed once, before allocation, and shared by every
+allocator — the paper's fair-comparison methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.cfg import CFG
+from repro.dataflow.bitvector import TempIndex
+from repro.dataflow.framework import DataflowProblem, Direction, solve
+from repro.ir.function import Function
+from repro.ir.temp import Temp
+
+
+@dataclass(eq=False)
+class LivenessInfo:
+    """Fixed-point liveness for one function.
+
+    Attributes:
+        index: Bit positions for the global temporaries only.
+        live_in / live_out: Masks per block label.
+        iterations: Worklist passes the solver needed (Section 2.6's
+            "two or three iterations at most" observation).
+    """
+
+    index: TempIndex
+    live_in: dict[str, int]
+    live_out: dict[str, int]
+    iterations: int
+
+    def live_out_temps(self, label: str) -> list[Temp]:
+        """The temporaries live out of block ``label``."""
+        return self.index.temps_of(self.live_out[label])
+
+    def live_in_temps(self, label: str) -> list[Temp]:
+        """The temporaries live into block ``label``."""
+        return self.index.temps_of(self.live_in[label])
+
+
+def _block_local_sets(fn: Function) -> tuple[dict[str, set[Temp]], dict[str, set[Temp]]]:
+    """Per-block upward-exposed-use and kill (defined) temp sets."""
+    ue: dict[str, set[Temp]] = {}
+    kill: dict[str, set[Temp]] = {}
+    for block in fn.blocks:
+        exposed: set[Temp] = set()
+        defined: set[Temp] = set()
+        for instr in block.instrs:
+            for reg in instr.uses:
+                if isinstance(reg, Temp) and reg not in defined:
+                    exposed.add(reg)
+            for reg in instr.defs:
+                if isinstance(reg, Temp):
+                    defined.add(reg)
+        ue[block.label] = exposed
+        kill[block.label] = defined
+    return ue, kill
+
+
+def global_temps(fn: Function) -> list[Temp]:
+    """Temporaries upward exposed in some block, in deterministic order.
+
+    These are exactly the temporaries whose liveness crosses a block
+    boundary (assuming every use is reached by some def; uninitialized
+    reads also land here, conservatively).
+    """
+    ue, _ = _block_local_sets(fn)
+    out: dict[Temp, None] = {}
+    for block in fn.blocks:
+        for t in sorted(ue[block.label]):
+            out.setdefault(t, None)
+    return list(out)
+
+
+def compute_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
+    """Solve backward liveness over the global temporaries of ``fn``."""
+    cfg = cfg or CFG.build(fn)
+    ue, kill = _block_local_sets(fn)
+    index = TempIndex.of(global_temps(fn))
+    gen = {label: index.mask_of(temps) for label, temps in ue.items()}
+    kill_masks = {label: index.mask_of(temps) for label, temps in kill.items()}
+    result = solve(DataflowProblem(cfg, Direction.BACKWARD, gen, kill_masks))
+    return LivenessInfo(index, result.in_, result.out, result.iterations)

@@ -1,0 +1,56 @@
+"""Intermediate representation for the register-allocation testbed.
+
+The IR is a low-level, load/store, virtual-register program representation
+modelled on the Machine SUIF code that the paper's allocators consumed:
+
+* values live in *temporaries* (:class:`~repro.ir.temp.Temp`), unbounded in
+  number, each belonging to one of two register classes (integer ``GPR`` or
+  floating-point ``FPR``), mirroring the Alpha's split register files;
+* instructions (:class:`~repro.ir.instr.Instr`) follow a load/store
+  discipline — arithmetic happens register-to-register, memory is reached
+  only through explicit loads and stores;
+* physical registers (:class:`~repro.ir.temp.PhysReg`) may appear directly
+  in pre-allocation code for calling-convention moves (parameter and return
+  registers), exactly the "precolored" references both allocators must
+  honour;
+* a function (:class:`~repro.ir.function.Function`) is a list of basic
+  blocks whose order *is* the linear order the binpacking allocator scans.
+
+Everything downstream — liveness, lifetimes and holes, both allocators, and
+the machine simulator — is defined purely in terms of this package.
+"""
+
+from repro.ir.types import RegClass
+from repro.ir.temp import PhysReg, StackSlot, Temp
+from repro.ir.instr import Instr, Op, SpillKind, SpillPhase
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.module import GlobalArray, Module
+from repro.ir.builder import FunctionBuilder
+from repro.ir.printer import print_function, print_instr, print_module
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.validate import IRValidationError, validate_function, validate_module
+
+__all__ = [
+    "BasicBlock",
+    "Function",
+    "FunctionBuilder",
+    "GlobalArray",
+    "IRValidationError",
+    "Instr",
+    "Module",
+    "Op",
+    "PhysReg",
+    "RegClass",
+    "SpillKind",
+    "SpillPhase",
+    "StackSlot",
+    "Temp",
+    "parse_function",
+    "parse_module",
+    "print_function",
+    "print_instr",
+    "print_module",
+    "validate_function",
+    "validate_module",
+]

@@ -1,0 +1,82 @@
+"""Basic blocks.
+
+A basic block is a labelled, straight-line run of instructions whose last
+instruction is the unique terminator (``jmp``/``br``/``ret``).  Blocks are
+stored in a :class:`~repro.ir.function.Function` in *layout order*; that
+order is exactly the "static linear order" the paper's linear-scan
+allocator sweeps (Section 1), so block position in the function list is
+semantically meaningful to the allocator even though control flow is fully
+described by the terminators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ir.instr import Instr, Op
+
+
+@dataclass(eq=False)
+class BasicBlock:
+    """A labelled basic block (identity semantics, like :class:`Instr`).
+
+    Attributes:
+        label: Unique (per function) block name.
+        instrs: The instructions, terminator last.
+    """
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instr:
+        """The block's terminator instruction.
+
+        Raises :class:`ValueError` on an unterminated block — blocks under
+        construction use the builder, which appends the terminator last.
+        """
+        if not self.instrs or not self.instrs[-1].is_terminator:
+            raise ValueError(f"block {self.label} has no terminator")
+        return self.instrs[-1]
+
+    @property
+    def body(self) -> list[Instr]:
+        """All instructions except the terminator."""
+        return self.instrs[:-1] if self.instrs and self.instrs[-1].is_terminator else list(self.instrs)
+
+    def successors(self) -> list[str]:
+        """Labels of the blocks control may flow to next."""
+        term = self.terminator
+        if term.op is Op.RET:
+            return []
+        return list(term.targets)
+
+    def append(self, instr: Instr) -> None:
+        """Append ``instr``; refuses to add past an existing terminator."""
+        if self.instrs and self.instrs[-1].is_terminator:
+            raise ValueError(f"block {self.label} already terminated")
+        self.instrs.append(instr)
+
+    def insert_before_terminator(self, instrs: list[Instr]) -> None:
+        """Insert ``instrs`` just before the terminator (resolution code)."""
+        self.terminator  # raises if unterminated
+        self.instrs[-1:-1] = instrs
+
+    def insert_at_top(self, instrs: list[Instr]) -> None:
+        """Insert ``instrs`` at the very top of the block."""
+        self.instrs[:0] = instrs
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_block
+
+        return print_block(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BasicBlock({self.label!r}, {len(self.instrs)} instrs)"

@@ -1,0 +1,130 @@
+"""Functions: ordered block lists plus the temporary factory.
+
+The block list order is the *linear order* used throughout the paper: it
+defines lifetime intervals (Section 2.1) and the order of the single
+allocate/rewrite sweep (Section 2.3).  ``Function`` also owns the
+temporary-id counter so that every allocation candidate in a function has
+a unique id — the dataflow bit vectors index temporaries by these ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.ir.block import BasicBlock
+from repro.ir.instr import Instr
+from repro.ir.temp import Temp
+from repro.ir.types import RegClass
+
+
+@dataclass(eq=False)
+class Function:
+    """A single compilation unit for the allocators.
+
+    Attributes:
+        name: Function name (callees are resolved by name at simulation).
+        params: Parameter temporaries, in declaration order.  After
+            lowering, the entry block begins with moves from the parameter
+            registers into these temporaries.
+        blocks: Basic blocks in layout (linear) order; entry block first.
+    """
+
+    name: str
+    params: list[Temp] = field(default_factory=list)
+    blocks: list[BasicBlock] = field(default_factory=list)
+    _next_temp_id: int = 0
+
+    # ------------------------------------------------------------------
+    # Temporaries.
+    # ------------------------------------------------------------------
+    def new_temp(self, regclass: RegClass, name: str | None = None) -> Temp:
+        """Mint a fresh temporary of ``regclass``."""
+        temp = Temp(regclass, self._next_temp_id, name)
+        self._next_temp_id += 1
+        return temp
+
+    def temp_count(self) -> int:
+        """Upper bound (exclusive) on temporary ids in this function."""
+        return self._next_temp_id
+
+    def note_temp_ids(self) -> None:
+        """Bump the id counter past every temporary appearing in the code.
+
+        Used by the parser, which materializes temps from their printed
+        ids rather than through :meth:`new_temp`.
+        """
+        highest = -1
+        for instr in self.instructions():
+            for temp in instr.temps():
+                highest = max(highest, temp.id)
+        for temp in self.params:
+            highest = max(highest, temp.id)
+        self._next_temp_id = max(self._next_temp_id, highest + 1)
+
+    # ------------------------------------------------------------------
+    # Blocks.
+    # ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        """The entry block (first in layout order)."""
+        if not self.blocks:
+            raise ValueError(f"function {self.name} has no blocks")
+        return self.blocks[0]
+
+    def block(self, label: str) -> BasicBlock:
+        """Look up a block by label."""
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise KeyError(f"no block {label!r} in function {self.name}")
+
+    def block_index(self) -> dict[str, int]:
+        """Map from label to position in layout order."""
+        return {b.label: i for i, b in enumerate(self.blocks)}
+
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        """Append ``block``, enforcing label uniqueness."""
+        if any(b.label == block.label for b in self.blocks):
+            raise ValueError(f"duplicate block label {block.label!r}")
+        self.blocks.append(block)
+        return block
+
+    def new_label(self, hint: str = "b") -> str:
+        """A block label not yet used in this function."""
+        existing = {b.label for b in self.blocks}
+        i = len(self.blocks)
+        while f"{hint}{i}" in existing:
+            i += 1
+        return f"{hint}{i}"
+
+    # ------------------------------------------------------------------
+    # Traversal.
+    # ------------------------------------------------------------------
+    def instructions(self) -> Iterator[Instr]:
+        """All instructions in linear order."""
+        for b in self.blocks:
+            yield from b.instrs
+
+    def instruction_count(self) -> int:
+        """Total static instruction count."""
+        return sum(len(b) for b in self.blocks)
+
+    def all_temps(self) -> list[Temp]:
+        """Every distinct temporary referenced, in first-appearance order."""
+        seen: dict[Temp, None] = {}
+        for p in self.params:
+            seen.setdefault(p, None)
+        for instr in self.instructions():
+            for t in instr.temps():
+                seen.setdefault(t, None)
+        return list(seen)
+
+    def __str__(self) -> str:
+        from repro.ir.printer import print_function
+
+        return print_function(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Function({self.name!r}, {len(self.blocks)} blocks, "
+                f"{self.instruction_count()} instrs)")

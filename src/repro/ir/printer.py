@@ -1,0 +1,90 @@
+"""Textual form of the IR.
+
+The format round-trips through :mod:`repro.ir.parser` and is designed to
+read like assembly.  Operand order in the text is always *defs first*,
+then uses, then the immediate, then targets — e.g. ``ld t5, t6, 8`` loads
+into ``t5`` from address ``t6 + 8``.  Allocator-inserted instructions are
+suffixed with their spill phase (``!evict``/``!resolve``/``!prologue``)
+so dumps show exactly what each phase added.
+"""
+
+from __future__ import annotations
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op
+from repro.ir.module import Module
+from repro.ir.temp import Reg, StackSlot
+from repro.ir.types import RegClass
+
+
+def print_reg(reg: Reg) -> str:
+    """Render a temporary or physical register."""
+    return str(reg)
+
+
+def print_slot(slot: StackSlot) -> str:
+    """Render a stack slot with its class tag, e.g. ``[s3.g]``."""
+    tag = "g" if slot.regclass is RegClass.GPR else "f"
+    return f"[s{slot.index}.{tag}]"
+
+
+def print_instr(instr: Instr) -> str:
+    """Render one instruction (without indentation or newline)."""
+    parts: list[str] = []
+    if instr.op is Op.CALL:
+        args = ", ".join(print_reg(r) for r in instr.uses)
+        text = f"call @{instr.callee}({args})"
+        if instr.defs:
+            text += " -> " + ", ".join(print_reg(r) for r in instr.defs)
+        parts.append(text)
+    else:
+        operands: list[str] = [print_reg(r) for r in instr.defs]
+        operands.extend(print_reg(r) for r in instr.uses)
+        if instr.slot is not None:
+            operands.append(print_slot(instr.slot))
+        if instr.imm is not None:
+            if isinstance(instr.imm, float):
+                operands.append(repr(instr.imm))
+            else:
+                operands.append(str(instr.imm))
+        operands.extend(instr.targets)
+        if operands:
+            parts.append(f"{instr.op.value} " + ", ".join(operands))
+        else:
+            parts.append(instr.op.value)
+    if instr.spill_phase is not None:
+        parts.append(f"!{instr.spill_phase.value}")
+    return " ".join(parts)
+
+
+def print_block(block: BasicBlock) -> str:
+    """Render a labelled block."""
+    lines = [f"{block.label}:"]
+    lines.extend(f"  {print_instr(i)}" for i in block.instrs)
+    return "\n".join(lines)
+
+
+def print_function(fn: Function) -> str:
+    """Render a whole function."""
+    params = ", ".join(print_reg(p) for p in fn.params)
+    lines = [f"func {fn.name}({params}) {{"]
+    lines.extend(print_block(b) for b in fn.blocks)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a module: globals first, then functions."""
+    lines: list[str] = []
+    for g in module.globals.values():
+        tag = "gpr" if g.regclass is RegClass.GPR else "fpr"
+        decl = f"global {g.name}: {tag}[{g.size}]"
+        if g.init:
+            decl += " = {" + ", ".join(repr(v) if isinstance(v, float) else str(v)
+                                       for v in g.init) + "}"
+        lines.append(decl)
+    if lines:
+        lines.append("")
+    lines.extend(print_function(fn) + "\n" for fn in module.functions.values())
+    return "\n".join(lines)

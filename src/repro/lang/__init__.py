@@ -1,0 +1,29 @@
+"""minic: a small C-like frontend for writing workloads.
+
+The paper's benchmarks are C and Fortran programs compiled through SUIF;
+ours are minic programs compiled through this package.  The language is
+deliberately small — ``int``/``float`` scalars, global arrays, functions,
+structured control flow, ``print`` — but its lowering produces exactly
+the IR shape the allocators care about: multi-definition temporaries with
+lifetime holes, explicit calling-convention moves, and loops.
+
+Pipeline: ``tokenize`` → ``parse`` → ``check`` (types, returns) →
+``lower`` (AST to IR), wrapped by :func:`compile_minic`.
+"""
+
+from repro.lang.lexer import LexError, Token, tokenize
+from repro.lang.parser import ParseError, parse
+from repro.lang.sema import SemaError, check
+from repro.lang.lower import compile_minic, lower
+
+__all__ = [
+    "LexError",
+    "ParseError",
+    "SemaError",
+    "Token",
+    "check",
+    "compile_minic",
+    "lower",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,184 @@
+"""Abstract syntax of minic.
+
+Expression nodes carry a ``type`` attribute (``"int"`` or ``"float"``)
+filled in by :mod:`repro.lang.sema`; the lowering pass relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class Expr:
+    """Base class; ``type`` is set by semantic analysis."""
+
+    line: int
+    type: str | None = field(default=None, init=False)
+
+
+@dataclass(eq=False)
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass(eq=False)
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass(eq=False)
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass(eq=False)
+class Index(Expr):
+    """Global array element read: ``name[index]``."""
+
+    name: str = ""
+    index: Expr | None = None
+
+
+@dataclass(eq=False)
+class Unary(Expr):
+    """``-e`` or ``!e``."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass(eq=False)
+class Binary(Expr):
+    """Arithmetic, comparison, or (non-short-circuit) logical operator."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass(eq=False)
+class Call(Expr):
+    """Function call; ``type`` is the callee's return type (may be void
+    when used as a statement)."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class Cast(Expr):
+    """Explicit ``int(e)`` / ``float(e)`` conversion."""
+
+    target: str = ""
+    operand: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class Stmt:
+    line: int
+
+
+@dataclass(eq=False)
+class Decl(Stmt):
+    """``int x = e;`` — initializers are mandatory, so every variable is
+    defined before any use on every path."""
+
+    type: str = ""
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass(eq=False)
+class Assign(Stmt):
+    name: str = ""
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class StoreIndex(Stmt):
+    """``name[index] = value;``"""
+
+    name: str = ""
+    index: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class Print(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(eq=False)
+class ExprStmt(Stmt):
+    """A bare call used for its effects."""
+
+    expr: Expr | None = None
+
+
+@dataclass(eq=False)
+class If(Stmt):
+    cond: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class While(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class For(Stmt):
+    """``for (init; cond; step) body`` — ``init`` may declare a variable
+    scoped to the loop."""
+
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Top level.
+# ----------------------------------------------------------------------
+@dataclass(eq=False)
+class Param:
+    type: str
+    name: str
+
+
+@dataclass(eq=False)
+class FuncDecl:
+    line: int
+    ret_type: str  # "int", "float", or "void"
+    name: str
+    params: list[Param]
+    body: list[Stmt]
+
+
+@dataclass(eq=False)
+class GlobalDecl:
+    line: int
+    type: str  # element type: "int" or "float"
+    name: str
+    size: int
+    init: list[int | float]
+
+
+@dataclass(eq=False)
+class Program:
+    globals: list[GlobalDecl]
+    functions: list[FuncDecl]

@@ -1,0 +1,60 @@
+"""Tokenizer for minic."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "global", "func", "int", "float", "void", "if", "else", "while", "for",
+    "return", "print",
+})
+
+_TOKEN_RE = re.compile(r"""
+      (?P<ws>\s+|//[^\n]*)
+    | (?P<float>\d+\.\d*(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+    | (?P<int>\d+)
+    | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op>&&|\|\||==|!=|<=|>=|[-+*/%<>=!(){}\[\],;])
+""", re.VERBOSE)
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character, with line information."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``int``, ``float``, ``ident``, ``kw`` (keyword), ``op``,
+    or ``eof``; ``text`` is the lexeme; ``line`` is 1-based.
+    """
+
+    kind: str
+    text: str
+    line: int
+
+    def __str__(self) -> str:
+        return f"{self.text!r}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; the result always ends with an ``eof`` token."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise LexError(f"line {line}: unexpected character {source[pos]!r}")
+        text = m.group(0)
+        if m.lastgroup == "ws":
+            line += text.count("\n")
+        elif m.lastgroup == "ident" and text in KEYWORDS:
+            tokens.append(Token("kw", text, line))
+        else:
+            tokens.append(Token(m.lastgroup, text, line))
+        pos = m.end()
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,309 @@
+"""Recursive-descent parser for minic.
+
+Grammar (informal)::
+
+    program   := (global | func)*
+    global    := 'global' type IDENT '[' INT ']' ('=' '{' lits '}')? ';'
+    func      := 'func' ('void'|type) IDENT '(' params ')' block
+    block     := '{' stmt* '}'
+    stmt      := decl ';' | assign ';' | 'print' expr ';'
+               | 'return' expr? ';' | if | while | for | call ';'
+    decl      := type IDENT '=' expr
+    assign    := IDENT ('[' expr ']')? '=' expr
+    for       := 'for' '(' (decl|assign)? ';' expr? ';' assign? ')' block
+    expr      := precedence climbing over || && == != < <= > >= + - * / %
+                 with unary - ! and primaries INT FLOAT IDENT call index
+                 '(' expr ')' and casts int(e) / float(e)
+
+``&&``/``||`` are *non-short-circuit* (both sides always evaluate), which
+keeps lowering branch-free; programs must not hide faults behind them.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on a syntax error, with line information."""
+
+
+_BINARY_LEVELS: list[list[str]] = [
+    ["||"],
+    ["&&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing.
+    # ------------------------------------------------------------------
+    @property
+    def tok(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.tok
+        self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.tok
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text or kind
+            raise ParseError(f"line {token.line}: expected {want!r}, got {token}")
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.tok
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def at_type(self) -> bool:
+        return self.tok.kind == "kw" and self.tok.text in ("int", "float")
+
+    # ------------------------------------------------------------------
+    # Top level.
+    # ------------------------------------------------------------------
+    def program(self) -> ast.Program:
+        globals_: list[ast.GlobalDecl] = []
+        functions: list[ast.FuncDecl] = []
+        while self.tok.kind != "eof":
+            if self.tok.kind == "kw" and self.tok.text == "global":
+                globals_.append(self.global_decl())
+            elif self.tok.kind == "kw" and self.tok.text == "func":
+                functions.append(self.func_decl())
+            else:
+                raise ParseError(f"line {self.tok.line}: expected 'global' or "
+                                 f"'func', got {self.tok}")
+        return ast.Program(globals_, functions)
+
+    def global_decl(self) -> ast.GlobalDecl:
+        line = self.expect("kw", "global").line
+        elem = self.type_name()
+        name = self.expect("ident").text
+        self.expect("op", "[")
+        size = int(self.expect("int").text)
+        self.expect("op", "]")
+        init: list[int | float] = []
+        if self.accept("op", "="):
+            self.expect("op", "{")
+            while not self.accept("op", "}"):
+                negative = bool(self.accept("op", "-"))
+                token = self.advance()
+                if token.kind == "int":
+                    value: int | float = int(token.text)
+                elif token.kind == "float":
+                    value = float(token.text)
+                else:
+                    raise ParseError(f"line {token.line}: expected literal in "
+                                     f"initializer, got {token}")
+                init.append(-value if negative else value)
+                if not self.accept("op", ","):
+                    self.expect("op", "}")
+                    break
+        self.expect("op", ";")
+        return ast.GlobalDecl(line, elem, name, size, init)
+
+    def func_decl(self) -> ast.FuncDecl:
+        line = self.expect("kw", "func").line
+        if self.accept("kw", "void"):
+            ret_type = "void"
+        else:
+            ret_type = self.type_name()
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        while not self.accept("op", ")"):
+            ptype = self.type_name()
+            pname = self.expect("ident").text
+            params.append(ast.Param(ptype, pname))
+            if not self.accept("op", ","):
+                self.expect("op", ")")
+                break
+        body = self.block()
+        return ast.FuncDecl(line, ret_type, name, params, body)
+
+    def type_name(self) -> str:
+        token = self.tok
+        if token.kind == "kw" and token.text in ("int", "float"):
+            return self.advance().text
+        raise ParseError(f"line {token.line}: expected a type, got {token}")
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.statement())
+        return stmts
+
+    def statement(self) -> ast.Stmt:
+        token = self.tok
+        if token.kind == "kw":
+            if token.text == "if":
+                return self.if_stmt()
+            if token.text == "while":
+                return self.while_stmt()
+            if token.text == "for":
+                return self.for_stmt()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not (self.tok.kind == "op" and self.tok.text == ";"):
+                    value = self.expr()
+                self.expect("op", ";")
+                return ast.Return(token.line, value)
+            if token.text == "print":
+                self.advance()
+                value = self.expr()
+                self.expect("op", ";")
+                return ast.Print(token.line, value)
+            if token.text in ("int", "float"):
+                stmt = self.decl()
+                self.expect("op", ";")
+                return stmt
+        stmt = self.simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def decl(self) -> ast.Decl:
+        line = self.tok.line
+        dtype = self.type_name()
+        name = self.expect("ident").text
+        self.expect("op", "=")
+        return ast.Decl(line, dtype, name, self.expr())
+
+    def simple_stmt(self) -> ast.Stmt:
+        """Assignment, indexed store, or expression (call) statement."""
+        line = self.tok.line
+        if self.tok.kind == "ident":
+            name_tok = self.tok
+            nxt = self.tokens[self.pos + 1]
+            if nxt.kind == "op" and nxt.text == "=":
+                self.advance()
+                self.advance()
+                return ast.Assign(line, name_tok.text, self.expr())
+            if nxt.kind == "op" and nxt.text == "[":
+                # Could be a store or an index *read* inside a larger
+                # expression statement; stores are the only useful form.
+                save = self.pos
+                self.advance()
+                self.advance()
+                index = self.expr()
+                self.expect("op", "]")
+                if self.accept("op", "="):
+                    return ast.StoreIndex(line, name_tok.text, index, self.expr())
+                self.pos = save
+        expr = self.expr()
+        return ast.ExprStmt(line, expr)
+
+    def if_stmt(self) -> ast.If:
+        line = self.expect("kw", "if").line
+        self.expect("op", "(")
+        cond = self.expr()
+        self.expect("op", ")")
+        then_body = self.block()
+        else_body: list[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.tok.kind == "kw" and self.tok.text == "if":
+                else_body = [self.if_stmt()]
+            else:
+                else_body = self.block()
+        return ast.If(line, cond, then_body, else_body)
+
+    def while_stmt(self) -> ast.While:
+        line = self.expect("kw", "while").line
+        self.expect("op", "(")
+        cond = self.expr()
+        self.expect("op", ")")
+        return ast.While(line, cond, self.block())
+
+    def for_stmt(self) -> ast.For:
+        line = self.expect("kw", "for").line
+        self.expect("op", "(")
+        init: ast.Stmt | None = None
+        if not (self.tok.kind == "op" and self.tok.text == ";"):
+            init = self.decl() if self.at_type() else self.simple_stmt()
+        self.expect("op", ";")
+        cond: ast.Expr | None = None
+        if not (self.tok.kind == "op" and self.tok.text == ";"):
+            cond = self.expr()
+        self.expect("op", ";")
+        step: ast.Stmt | None = None
+        if not (self.tok.kind == "op" and self.tok.text == ")"):
+            step = self.simple_stmt()
+        self.expect("op", ")")
+        return ast.For(line, init, cond, step, self.block())
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def expr(self, level: int = 0) -> ast.Expr:
+        if level == len(_BINARY_LEVELS):
+            return self.unary()
+        left = self.expr(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while self.tok.kind == "op" and self.tok.text in ops:
+            op = self.advance()
+            right = self.expr(level + 1)
+            node = ast.Binary(op.line, op=op.text, left=left, right=right)
+            left = node
+        return left
+
+    def unary(self) -> ast.Expr:
+        token = self.tok
+        if token.kind == "op" and token.text in ("-", "!"):
+            self.advance()
+            return ast.Unary(token.line, op=token.text, operand=self.unary())
+        return self.primary()
+
+    def primary(self) -> ast.Expr:
+        token = self.advance()
+        if token.kind == "int":
+            return ast.IntLit(token.line, int(token.text))
+        if token.kind == "float":
+            return ast.FloatLit(token.line, float(token.text))
+        if token.kind == "op" and token.text == "(":
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "kw" and token.text in ("int", "float"):
+            self.expect("op", "(")
+            inner = self.expr()
+            self.expect("op", ")")
+            return ast.Cast(token.line, target=token.text, operand=inner)
+        if token.kind == "ident":
+            if self.tok.kind == "op" and self.tok.text == "(":
+                self.advance()
+                args: list[ast.Expr] = []
+                while not self.accept("op", ")"):
+                    args.append(self.expr())
+                    if not self.accept("op", ","):
+                        self.expect("op", ")")
+                        break
+                return ast.Call(token.line, name=token.text, args=args)
+            if self.tok.kind == "op" and self.tok.text == "[":
+                self.advance()
+                index = self.expr()
+                self.expect("op", "]")
+                return ast.Index(token.line, name=token.text, index=index)
+            return ast.VarRef(token.line, name=token.text)
+        raise ParseError(f"line {token.line}: unexpected token {token}")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse minic source text into an AST."""
+    return _Parser(tokenize(source)).program()

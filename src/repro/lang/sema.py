@@ -1,0 +1,239 @@
+"""Semantic analysis for minic.
+
+Checks names, arity and types, and decorates every expression node with
+its ``type`` for the lowering pass.  The rules are deliberately simple:
+
+* ``int`` promotes implicitly to ``float`` (mixed arithmetic, arguments,
+  assignments, initializers); the reverse needs an explicit ``int(e)``;
+* ``%`` and the logical operators are integer-only; comparisons accept a
+  common promoted type and yield ``int``;
+* array indices are ``int``; elements follow the array's declared type;
+* functions may not fall off the end *syntactically unchecked* — lowering
+  appends an implicit default return (``0``/``0.0``), so missing-return
+  is a program-semantics choice, not UB.
+
+Declarations carry mandatory initializers, so every variable is defined
+before use on every path — the property the simulator oracle needs.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+
+class SemaError(ValueError):
+    """Raised on a semantic error, with line information."""
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.vars: dict[str, str] = {}
+
+    def declare(self, name: str, vtype: str, line: int) -> None:
+        if name in self.vars:
+            raise SemaError(f"line {line}: duplicate declaration of {name!r}")
+        self.vars[name] = vtype
+
+    def lookup(self, name: str) -> str | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+
+class _Checker:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals = {g.name: g for g in program.globals}
+        self.functions = {f.name: f for f in program.functions}
+
+    def run(self) -> None:
+        seen: set[str] = set()
+        for g in self.program.globals:
+            if g.name in seen:
+                raise SemaError(f"line {g.line}: duplicate global {g.name!r}")
+            seen.add(g.name)
+            if g.size <= 0:
+                raise SemaError(f"line {g.line}: global {g.name!r} needs a "
+                                f"positive size")
+            for v in g.init:
+                if g.type == "int" and not isinstance(v, int):
+                    raise SemaError(f"line {g.line}: float literal in int "
+                                    f"array {g.name!r}")
+        names: set[str] = set()
+        for fn in self.program.functions:
+            if fn.name in names:
+                raise SemaError(f"line {fn.line}: duplicate function {fn.name!r}")
+            if fn.name in self.globals:
+                raise SemaError(f"line {fn.line}: {fn.name!r} is both a global "
+                                f"and a function")
+            names.add(fn.name)
+        if "main" not in self.functions:
+            raise SemaError("program has no 'main' function")
+        if self.functions["main"].params:
+            raise SemaError("'main' must take no parameters")
+        for fn in self.program.functions:
+            self.check_function(fn)
+
+    # ------------------------------------------------------------------
+    # Functions and statements.
+    # ------------------------------------------------------------------
+    def check_function(self, fn: ast.FuncDecl) -> None:
+        scope = _Scope()
+        for p in fn.params:
+            scope.declare(p.name, p.type, fn.line)
+        self.check_block(fn.body, _Scope(scope), fn)
+
+    def check_block(self, body: list[ast.Stmt], scope: _Scope,
+                    fn: ast.FuncDecl) -> None:
+        for stmt in body:
+            self.check_stmt(stmt, scope, fn)
+
+    def _coerce(self, expr_type: str, target: str, line: int, what: str) -> None:
+        if expr_type == target:
+            return
+        if expr_type == "int" and target == "float":
+            return  # implicit promotion, realized by lowering
+        raise SemaError(f"line {line}: cannot use {expr_type} value for "
+                        f"{what} of type {target}")
+
+    def check_stmt(self, stmt: ast.Stmt, scope: _Scope, fn: ast.FuncDecl) -> None:
+        if isinstance(stmt, ast.Decl):
+            t = self.check_expr(stmt.init, scope)
+            self._coerce(t, stmt.type, stmt.line, f"variable {stmt.name!r}")
+            scope.declare(stmt.name, stmt.type, stmt.line)
+        elif isinstance(stmt, ast.Assign):
+            var_type = scope.lookup(stmt.name)
+            if var_type is None:
+                raise SemaError(f"line {stmt.line}: assignment to undeclared "
+                                f"{stmt.name!r}")
+            t = self.check_expr(stmt.value, scope)
+            self._coerce(t, var_type, stmt.line, f"variable {stmt.name!r}")
+        elif isinstance(stmt, ast.StoreIndex):
+            arr = self.globals.get(stmt.name)
+            if arr is None:
+                raise SemaError(f"line {stmt.line}: store to unknown array "
+                                f"{stmt.name!r}")
+            if self.check_expr(stmt.index, scope) != "int":
+                raise SemaError(f"line {stmt.line}: array index must be int")
+            t = self.check_expr(stmt.value, scope)
+            self._coerce(t, arr.type, stmt.line, f"array {stmt.name!r} element")
+        elif isinstance(stmt, ast.Print):
+            self.check_expr(stmt.value, scope)
+        elif isinstance(stmt, ast.Return):
+            if fn.ret_type == "void":
+                if stmt.value is not None:
+                    raise SemaError(f"line {stmt.line}: void function "
+                                    f"{fn.name!r} returns a value")
+            else:
+                if stmt.value is None:
+                    raise SemaError(f"line {stmt.line}: {fn.name!r} must "
+                                    f"return a {fn.ret_type}")
+                t = self.check_expr(stmt.value, scope)
+                self._coerce(t, fn.ret_type, stmt.line, "return value")
+        elif isinstance(stmt, ast.ExprStmt):
+            if not isinstance(stmt.expr, ast.Call):
+                raise SemaError(f"line {stmt.line}: expression statement must "
+                                f"be a call")
+            self.check_expr(stmt.expr, scope, allow_void=True)
+        elif isinstance(stmt, ast.If):
+            if self.check_expr(stmt.cond, scope) != "int":
+                raise SemaError(f"line {stmt.line}: condition must be int")
+            self.check_block(stmt.then_body, _Scope(scope), fn)
+            self.check_block(stmt.else_body, _Scope(scope), fn)
+        elif isinstance(stmt, ast.While):
+            if self.check_expr(stmt.cond, scope) != "int":
+                raise SemaError(f"line {stmt.line}: condition must be int")
+            self.check_block(stmt.body, _Scope(scope), fn)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, inner, fn)
+            if stmt.cond is not None:
+                if self.check_expr(stmt.cond, inner) != "int":
+                    raise SemaError(f"line {stmt.line}: condition must be int")
+            if stmt.step is not None:
+                self.check_stmt(stmt.step, inner, fn)
+            self.check_block(stmt.body, _Scope(inner), fn)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemaError(f"line {stmt.line}: unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def check_expr(self, expr: ast.Expr, scope: _Scope, *,
+                   allow_void: bool = False) -> str:
+        expr.type = self._expr_type(expr, scope, allow_void)
+        return expr.type
+
+    def _expr_type(self, expr: ast.Expr, scope: _Scope, allow_void: bool) -> str:
+        if isinstance(expr, ast.IntLit):
+            return "int"
+        if isinstance(expr, ast.FloatLit):
+            return "float"
+        if isinstance(expr, ast.VarRef):
+            t = scope.lookup(expr.name)
+            if t is None:
+                raise SemaError(f"line {expr.line}: undeclared variable "
+                                f"{expr.name!r}")
+            return t
+        if isinstance(expr, ast.Index):
+            arr = self.globals.get(expr.name)
+            if arr is None:
+                raise SemaError(f"line {expr.line}: unknown array {expr.name!r}")
+            if self.check_expr(expr.index, scope) != "int":
+                raise SemaError(f"line {expr.line}: array index must be int")
+            return arr.type
+        if isinstance(expr, ast.Unary):
+            t = self.check_expr(expr.operand, scope)
+            if expr.op == "!":
+                if t != "int":
+                    raise SemaError(f"line {expr.line}: '!' needs an int")
+                return "int"
+            return t  # unary minus keeps the operand type
+        if isinstance(expr, ast.Cast):
+            self.check_expr(expr.operand, scope)
+            return expr.target
+        if isinstance(expr, ast.Binary):
+            lt = self.check_expr(expr.left, scope)
+            rt = self.check_expr(expr.right, scope)
+            op = expr.op
+            if op in ("&&", "||"):
+                if lt != "int" or rt != "int":
+                    raise SemaError(f"line {expr.line}: {op!r} needs ints")
+                return "int"
+            if op == "%":
+                if lt != "int" or rt != "int":
+                    raise SemaError(f"line {expr.line}: '%' needs ints")
+                return "int"
+            common = "float" if "float" in (lt, rt) else "int"
+            if op in ("==", "!=", "<", "<=", ">", ">="):
+                return "int"
+            return common
+        if isinstance(expr, ast.Call):
+            callee = self.functions.get(expr.name)
+            if callee is None:
+                raise SemaError(f"line {expr.line}: call to unknown function "
+                                f"{expr.name!r}")
+            if len(expr.args) != len(callee.params):
+                raise SemaError(f"line {expr.line}: {expr.name!r} takes "
+                                f"{len(callee.params)} arguments, got "
+                                f"{len(expr.args)}")
+            for arg, param in zip(expr.args, callee.params):
+                t = self.check_expr(arg, scope)
+                self._coerce(t, param.type, expr.line,
+                             f"parameter {param.name!r}")
+            if callee.ret_type == "void" and not allow_void:
+                raise SemaError(f"line {expr.line}: void call {expr.name!r} "
+                                f"used as a value")
+            return callee.ret_type
+        raise SemaError(f"line {expr.line}: unknown expression {expr!r}")
+
+
+def check(program: ast.Program) -> ast.Program:
+    """Type-check ``program`` in place (decorating expressions); returns it."""
+    _Checker(program).run()
+    return program

@@ -1,0 +1,395 @@
+"""Lifetimes, lifetime holes, and the linear numbering they live on.
+
+Linear numbering
+----------------
+
+Instructions are numbered ``0..N-1`` in the function's layout (linear)
+order.  Instruction ``i`` *reads* its uses at point ``2i`` and *writes*
+its defs at point ``2i + 1``; a block spans the half-open point range
+``[2*first, 2*(last+1))``.  Splitting each instruction into a read point
+and a write point lets a def reuse a register freed by a dying use of the
+same instruction, and gives spill loads/stores the "point lifetimes" of
+Section 2.2 a natural home.
+
+Lifetimes
+---------
+
+A temporary's lifetime is the span from the first point it is live in
+linear order to the last (Section 1); the maximal uncovered gaps inside
+that span are its *lifetime holes* (Section 2.1, Figure 1).  We compute
+all live ranges in a single reverse pass over the linear code, seeded at
+each block bottom with the block's liveness (computed once, shared with
+the coloring allocator).
+
+Physical registers get the same treatment: explicit references (calling
+convention moves, call argument/return registers) and call-site clobbers
+of the caller-saved set produce *reserved* ranges; the complement of a
+register's reserved set is its own sequence of lifetime holes, which is
+exactly how Section 2.5 models usage conventions.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.cfg.cfg import CFG
+from repro.cfg.loops import LoopInfo
+from repro.dataflow.liveness import LivenessInfo, compute_liveness
+from repro.ir.function import Function
+from repro.ir.instr import Instr
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.target.machine import MachineDescription
+
+
+@dataclass(frozen=True, order=True)
+class Range:
+    """A half-open interval ``[start, end)`` of linear points."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.end:
+            raise ValueError(f"empty range [{self.start}, {self.end})")
+
+    def __contains__(self, point: int) -> bool:
+        return self.start <= point < self.end
+
+    def overlaps(self, other: "Range") -> bool:
+        """True when the two ranges share at least one point."""
+        return self.start < other.end and other.start < self.end
+
+    def __str__(self) -> str:
+        return f"[{self.start},{self.end})"
+
+
+class RangeSet:
+    """A normalized (sorted, disjoint, merged) set of ranges with queries.
+
+    All allocator hole logic reduces to three queries: does the set cover
+    a point, where does coverage next begin after a point, and does the
+    set intersect a candidate interval.
+    """
+
+    __slots__ = ("ranges", "_starts")
+
+    def __init__(self, raw: list[tuple[int, int]] | None = None):
+        merged: list[Range] = []
+        for start, end in sorted(raw or []):
+            if start >= end:
+                continue
+            if merged and start <= merged[-1].end:
+                if end > merged[-1].end:
+                    merged[-1] = Range(merged[-1].start, end)
+            else:
+                merged.append(Range(start, end))
+        self.ranges: tuple[Range, ...] = tuple(merged)
+        self._starts = [r.start for r in self.ranges]
+
+    def __bool__(self) -> bool:
+        return bool(self.ranges)
+
+    def __len__(self) -> int:
+        return len(self.ranges)
+
+    def __iter__(self):
+        return iter(self.ranges)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RangeSet) and self.ranges == other.ranges
+
+    def __hash__(self) -> int:
+        return hash(self.ranges)
+
+    @property
+    def start(self) -> int:
+        """First covered point (raises on an empty set)."""
+        return self.ranges[0].start
+
+    @property
+    def end(self) -> int:
+        """One past the last covered point (raises on an empty set)."""
+        return self.ranges[-1].end
+
+    def covers(self, point: int) -> bool:
+        """True when ``point`` lies inside some range."""
+        i = bisect_right(self._starts, point) - 1
+        return i >= 0 and point < self.ranges[i].end
+
+    def next_covered_at_or_after(self, point: int) -> int | None:
+        """The smallest covered point >= ``point``, or ``None``."""
+        if self.covers(point):
+            return point
+        i = bisect_right(self._starts, point)
+        if i < len(self.ranges):
+            return self.ranges[i].start
+        return None
+
+    def overlaps_interval(self, start: int, end: int) -> bool:
+        """True when the set intersects ``[start, end)``."""
+        if start >= end:
+            return False
+        nxt = self.next_covered_at_or_after(start)
+        return nxt is not None and nxt < end
+
+    def overlaps(self, other: "RangeSet") -> bool:
+        """True when the two sets share at least one point (merge walk)."""
+        a, b = self.ranges, other.ranges
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].overlaps(b[j]):
+                return True
+            if a[i].end <= b[j].start:
+                i += 1
+            else:
+                j += 1
+        return False
+
+    def clip(self, start: int) -> "RangeSet":
+        """The subset of the ranges at or after ``start`` (a straddling
+        range is trimmed to begin at ``start``)."""
+        i = bisect_right(self._starts, start)
+        kept = list(self.ranges[i:])
+        if i > 0 and self.ranges[i - 1].end > start:
+            kept.insert(0, Range(start, self.ranges[i - 1].end))
+        clipped = RangeSet()
+        clipped.ranges = tuple(kept)
+        clipped._starts = [r.start for r in kept]
+        return clipped
+
+    def holes(self) -> list[Range]:
+        """Maximal uncovered gaps strictly between the first and last range."""
+        gaps: list[Range] = []
+        for prev, nxt in zip(self.ranges, self.ranges[1:]):
+            gaps.append(Range(prev.end, nxt.start))
+        return gaps
+
+    def __str__(self) -> str:
+        return " ".join(str(r) for r in self.ranges) or "(empty)"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangeSet({self})"
+
+
+@dataclass(eq=False)
+class Lifetime:
+    """One temporary's (or one register's reserved) live ranges.
+
+    Attributes:
+        reg: The temporary (or physical register) described.
+        live: The normalized range set of points where a useful value
+            exists (for physical registers: where the register is
+            reserved by the calling convention).
+    """
+
+    reg: Temp | PhysReg
+    live: RangeSet
+
+    @property
+    def start(self) -> int:
+        return self.live.start
+
+    @property
+    def end(self) -> int:
+        return self.live.end
+
+    def holes(self) -> list[Range]:
+        """The lifetime holes (Section 2.1)."""
+        return self.live.holes()
+
+    def alive_at(self, point: int) -> bool:
+        """True when the value is live at ``point``."""
+        return self.live.covers(point)
+
+    def in_hole(self, point: int) -> bool:
+        """True when ``point`` falls in a lifetime hole (inside the span
+        but not live)."""
+        if not self.live:
+            return False
+        return self.start <= point < self.end and not self.live.covers(point)
+
+    def next_live_at_or_after(self, point: int) -> int | None:
+        """First live point >= ``point`` (``None`` once the lifetime ended)."""
+        return self.live.next_covered_at_or_after(point)
+
+    def remaining(self, point: int) -> RangeSet:
+        """The live ranges at or after ``point``.
+
+        This is what binpacking fits into register holes: a temporary
+        whose remaining ranges avoid a register's reserved ranges can use
+        it even when the *convex* remaining span could not (e.g. a value
+        that is dead across every call fits a caller-saved register).
+        Never empty: a dead def still occupies ``[point, point + 1)``.
+        """
+        clipped = self.live.clip(point)
+        if not clipped:
+            return RangeSet([(point, point + 1)])
+        return clipped
+
+    def __str__(self) -> str:
+        return f"{self.reg}: {self.live}"
+
+
+@dataclass(eq=False)
+class LifetimeTable:
+    """Everything the linear-scan allocators need about one function.
+
+    Attributes:
+        fn: The analysed function.
+        machine: The target (fixes the caller-saved clobber set).
+        linear: Instructions in linear order.
+        pos: Instruction -> linear index (``use point = 2*pos``,
+            ``def point = 2*pos + 1``).
+        block_span: Block label -> (start point, end point) half-open.
+        temps: Lifetime per temporary (every temporary, including
+            block-local ones).
+        reserved: Reserved-range set per physical register (empty sets
+            are omitted; query through :meth:`reserved_for`).
+        ref_points: Per temp, the sorted reference points (uses at
+            ``2i``, defs at ``2i+1``).
+        ref_depths: Parallel loop depths for each reference point.
+    """
+
+    fn: Function
+    machine: MachineDescription
+    linear: list[Instr]
+    pos: dict[Instr, int]
+    block_span: dict[str, tuple[int, int]]
+    temps: dict[Temp, Lifetime]
+    reserved: dict[PhysReg, RangeSet]
+    ref_points: dict[Temp, list[int]]
+    ref_depths: dict[Temp, list[int]]
+    liveness: LivenessInfo
+    loops: LoopInfo
+
+    _EMPTY = RangeSet()
+
+    @property
+    def max_point(self) -> int:
+        """One past the last linear point of the function."""
+        return 2 * len(self.linear)
+
+    def use_point(self, instr: Instr) -> int:
+        """The point at which ``instr`` reads its uses."""
+        return 2 * self.pos[instr]
+
+    def def_point(self, instr: Instr) -> int:
+        """The point at which ``instr`` writes its defs."""
+        return 2 * self.pos[instr] + 1
+
+    def reserved_for(self, reg: PhysReg) -> RangeSet:
+        """The convention-reserved ranges of ``reg`` (possibly empty)."""
+        return self.reserved.get(reg, self._EMPTY)
+
+    def lifetime(self, temp: Temp) -> Lifetime:
+        """The lifetime of ``temp`` (raises for unreferenced temps)."""
+        return self.temps[temp]
+
+    def next_ref_at_or_after(self, temp: Temp, point: int) -> tuple[int, int] | None:
+        """The next reference of ``temp`` at or after ``point``.
+
+        Returns ``(ref_point, loop_depth)`` or ``None`` when no reference
+        remains — the input to the spill-priority heuristic (Section 2.3).
+        """
+        points = self.ref_points.get(temp)
+        if not points:
+            return None
+        i = bisect_left(points, point)
+        if i == len(points):
+            return None
+        return points[i], self.ref_depths[temp][i]
+
+
+def compute_lifetimes(fn: Function, machine: MachineDescription,
+                      cfg: CFG | None = None,
+                      liveness: LivenessInfo | None = None,
+                      loops: LoopInfo | None = None) -> LifetimeTable:
+    """Build the :class:`LifetimeTable` with one reverse pass (Section 2.1).
+
+    ``cfg``/``liveness``/``loops`` may be passed in when already computed —
+    the evaluation timings exclude these shared setup analyses, as the
+    paper's Section 3.2 timings do.
+    """
+    cfg = cfg or CFG.build(fn)
+    liveness = liveness or compute_liveness(fn, cfg)
+    loops = loops or LoopInfo.build(cfg)
+
+    linear: list[Instr] = []
+    pos: dict[Instr, int] = {}
+    block_span: dict[str, tuple[int, int]] = {}
+    depth_at: list[int] = []
+    for block in fn.blocks:
+        first = len(linear)
+        depth = loops.depth_of(block.label)
+        for instr in block.instrs:
+            pos[instr] = len(linear)
+            linear.append(instr)
+            depth_at.append(depth)
+        block_span[block.label] = (2 * first, 2 * len(linear))
+
+    raw_temp: dict[Temp, list[tuple[int, int]]] = {}
+    raw_phys: dict[PhysReg, list[tuple[int, int]]] = {}
+    ref_points: dict[Temp, list[int]] = {}
+    ref_depths: dict[Temp, list[int]] = {}
+
+    caller_saved = (machine.caller_saved(RegClass.GPR)
+                    + machine.caller_saved(RegClass.FPR))
+
+    # Forward sweep: reference points (for the spill heuristic) and call
+    # clobber reservations.
+    for i, instr in enumerate(linear):
+        for u in instr.uses:
+            if isinstance(u, Temp):
+                ref_points.setdefault(u, []).append(2 * i)
+                ref_depths.setdefault(u, []).append(depth_at[i])
+        for d in instr.defs:
+            if isinstance(d, Temp):
+                ref_points.setdefault(d, []).append(2 * i + 1)
+                ref_depths.setdefault(d, []).append(depth_at[i])
+        if instr.is_call:
+            for reg in caller_saved:
+                raw_phys.setdefault(reg, []).append((2 * i, 2 * i + 2))
+
+    # Reverse sweep: live ranges.  ``active`` maps a register to the end
+    # point of the range currently being grown backward.
+    for block in reversed(fn.blocks):
+        bstart, bend = block_span[block.label]
+        active: dict[Temp | PhysReg, int] = {}
+        for t in liveness.live_out_temps(block.label):
+            active[t] = bend
+        for i in range(len(block.instrs) - 1, -1, -1):
+            instr = block.instrs[i]
+            point = 2 * (pos[instr])
+            for d in instr.defs:
+                end = active.pop(d, None)
+                raw = raw_temp if isinstance(d, Temp) else raw_phys
+                if end is None:
+                    # Dead def: the value still occupies the register for
+                    # one point.
+                    raw.setdefault(d, []).append((point + 1, point + 2))
+                else:
+                    raw.setdefault(d, []).append((point + 1, end))
+            for u in instr.uses:
+                if u not in active:
+                    active[u] = point + 1
+        for reg, end in active.items():
+            raw = raw_temp if isinstance(reg, Temp) else raw_phys
+            raw.setdefault(reg, []).append((bstart, end))
+
+    temps = {t: Lifetime(t, RangeSet(ranges)) for t, ranges in raw_temp.items()}
+    reserved = {r: RangeSet(ranges) for r, ranges in raw_phys.items()}
+    return LifetimeTable(
+        fn=fn,
+        machine=machine,
+        linear=linear,
+        pos=pos,
+        block_span=block_span,
+        temps=temps,
+        reserved=reserved,
+        ref_points=ref_points,
+        ref_depths=ref_depths,
+        liveness=liveness,
+        loops=loops,
+    )

@@ -1,0 +1,21 @@
+"""IR passes surrounding register allocation.
+
+The paper's pipeline (Section 3): "register allocation is preceded by
+dead code elimination and followed by a peephole optimization pass that
+removes moves".  Both passes (and a post-allocation verifier) live here
+and are applied identically around every allocator.
+"""
+
+from repro.passes.dce import eliminate_dead_code
+from repro.passes.peephole import remove_redundant_moves
+from repro.passes.spillopt import SpillCleanupStats, cleanup_spill_code
+from repro.passes.verify_alloc import AllocationVerifyError, verify_allocation
+
+__all__ = [
+    "AllocationVerifyError",
+    "SpillCleanupStats",
+    "cleanup_spill_code",
+    "eliminate_dead_code",
+    "remove_redundant_moves",
+    "verify_allocation",
+]

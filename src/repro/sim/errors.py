@@ -1,0 +1,14 @@
+"""Simulator failure modes."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Raised when executing IR faults.
+
+    Faults include: division by zero, out-of-range heap accesses, reading
+    a stack slot that was never written, clobbering a callee-saved
+    register across a call, exceeding the step budget, and type confusion
+    between the integer and floating-point files.  With a correct
+    allocator, allocated code faults exactly when the original does.
+    """

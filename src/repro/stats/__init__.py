@@ -1,0 +1,7 @@
+"""Evaluation statistics: spill-code accounting and table rendering."""
+
+from repro.stats.spill import FIGURE3_CATEGORIES, SpillBreakdown, spill_breakdown
+from repro.stats.report import format_table
+
+__all__ = ["FIGURE3_CATEGORIES", "SpillBreakdown", "format_table",
+           "spill_breakdown"]

@@ -1,0 +1,43 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmark suite prints each reproduced table in roughly the paper's
+layout; this keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 title: str | None = None) -> str:
+    """Render an aligned plain-text table.
+
+    Numbers are right-aligned; floats are shown with sensible precision
+    (3 decimals for ratios < 10, otherwise 1).
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}" if abs(cell) < 10 else f"{cell:,.1f}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
+              else len(headers[i]) for i in range(len(headers))]
+
+    def line(cells: list[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            numeric = rendered and all(
+                r[i] and (r[i][0].isdigit() or r[i][0] in "-+.")
+                for r in rendered)
+            parts.append(cell.rjust(widths[i]) if numeric else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in rendered)
+    return "\n".join(out)

@@ -1,0 +1,62 @@
+"""Spill-code accounting in the paper's categories.
+
+Figure 3 splits allocator-inserted instructions six ways:
+``{evict, resolve} x {loads, stores, moves}`` — eviction code inserted
+during the linear scan (or by coloring's spill phase, which has no
+resolution category), and resolution code inserted while reconciling CFG
+edges.  Callee-saved prologue traffic is excluded ("load, store, and move
+instructions inserted for allocation candidates only", Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instr import SpillKind, SpillPhase
+from repro.sim.machine import SimOutcome
+
+#: Figure 3's bar segments, in its legend order.
+FIGURE3_CATEGORIES: list[tuple[SpillPhase, SpillKind]] = [
+    (SpillPhase.EVICT, SpillKind.LOAD),
+    (SpillPhase.EVICT, SpillKind.STORE),
+    (SpillPhase.EVICT, SpillKind.MOVE),
+    (SpillPhase.RESOLVE, SpillKind.LOAD),
+    (SpillPhase.RESOLVE, SpillKind.STORE),
+    (SpillPhase.RESOLVE, SpillKind.MOVE),
+]
+
+
+@dataclass(frozen=True)
+class SpillBreakdown:
+    """Dynamic spill-instruction counts for one run, by category."""
+
+    counts: tuple[int, ...]  # parallel to FIGURE3_CATEGORIES
+    total_dynamic: int
+
+    @property
+    def total_spill(self) -> int:
+        """All candidate spill instructions (evict + resolve)."""
+        return sum(self.counts)
+
+    def fraction(self) -> float:
+        """Table 2's percentage (as a fraction of all dynamic instrs)."""
+        if not self.total_dynamic:
+            return 0.0
+        return self.total_spill / self.total_dynamic
+
+    def category(self, phase: SpillPhase, kind: SpillKind) -> int:
+        """One category's dynamic count."""
+        return self.counts[FIGURE3_CATEGORIES.index((phase, kind))]
+
+    def normalized_to(self, baseline: "SpillBreakdown") -> list[float]:
+        """Figure 3's normalization: each category divided by the
+        *baseline allocator's* total spill count."""
+        base = baseline.total_spill or 1
+        return [c / base for c in self.counts]
+
+
+def spill_breakdown(outcome: SimOutcome) -> SpillBreakdown:
+    """Extract the Figure 3 categories from a simulation outcome."""
+    counts = tuple(outcome.spill_counts.get((phase, kind), 0)
+                   for phase, kind in FIGURE3_CATEGORIES)
+    return SpillBreakdown(counts, outcome.dynamic_instructions)

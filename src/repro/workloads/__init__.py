@@ -1,0 +1,11 @@
+"""Workloads: benchmark analogs and synthetic program generators.
+
+``programs`` holds the eleven analog programs standing in for the paper's
+benchmark suite (Table 1/2, Figure 3); ``synthetic`` generates random —
+but always terminating and fully initialized — programs for property
+tests and the compile-time scaling study (Table 3).
+"""
+
+from repro.workloads.synthetic import random_module, scaled_module
+
+__all__ = ["random_module", "scaled_module"]

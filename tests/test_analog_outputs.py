@@ -1,0 +1,59 @@
+"""Golden outputs for the benchmark analogs.
+
+Pinning the analogs' observable output serves two purposes: it documents
+what each program computes, and it guarantees the Table 1/2/Figure 3
+workloads cannot silently drift (a changed analog would invalidate
+paper-vs-measured comparisons recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.sim import simulate
+from repro.target import alpha
+from repro.workloads.programs import build_program
+
+#: name -> (expected first outputs, expected dynamic instruction count).
+GOLDEN = {
+    "doduc": ([], 46_399),
+    "eqntott": ([4320], 413_390),
+    "compress": ([198, 795, 450], 88_005),
+    "m88ksim": ([912, 112], 70_739),
+    "sort": ([0, 1, 2044, 4080], 99_738),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_dynamic_counts(name):
+    expected_prefix, expected_count = GOLDEN[name]
+    outcome = simulate(build_program(name, alpha()), alpha())
+    assert outcome.dynamic_instructions == expected_count, (
+        f"{name}: the analog changed — update EXPERIMENTS.md if intended")
+    if expected_prefix:
+        assert outcome.output[:len(expected_prefix)] == expected_prefix
+
+
+def test_sort_actually_sorts():
+    outcome = simulate(build_program("sort", alpha()), alpha())
+    inversions = outcome.output[0]
+    assert inversions == 0
+
+
+def test_wc_counts_are_consistent():
+    outcome = simulate(build_program("wc", alpha()), alpha())
+    lines, words, chars, vowels, consonants, max_len = outcome.output
+    assert chars == 2048 * 6
+    assert vowels + consonants <= chars
+    assert 0 < max_len < 64
+    assert words > lines > 0
+
+
+def test_fpppp_output_is_finite():
+    outcome = simulate(build_program("fpppp", alpha()), alpha())
+    value = outcome.output[0]
+    assert isinstance(value, float)
+    assert value == value and abs(value) != float("inf")
+
+
+def test_li_total_is_positive():
+    outcome = simulate(build_program("li", alpha()), alpha())
+    assert outcome.output[0] > 0

@@ -1,0 +1,54 @@
+"""The shipped examples must run end-to-end (they double as tutorials)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "output before allocation: [77, 770]" in out
+    assert "output after  allocation: [77, 770]" in out
+    assert "register candidates" in out
+
+
+def test_figure1():
+    out = run_example("figure1_lifetime_holes.py")
+    assert "Lifetime timelines" in out
+    assert "T3's whole lifetime fits inside a hole of T1" in out
+
+
+def test_figure2():
+    out = run_example("figure2_resolution.py")
+    assert "!evict" in out
+    assert "!resolve" in out
+    assert "output (no holes): [11, 6]" in out
+    assert "output (full):     [11, 6]" in out
+
+
+def test_compare_allocators():
+    out = run_example("compare_allocators.py", "m88ksim")
+    assert "second-chance binpacking" in out
+    assert "graph coloring" in out
+    assert "poletto linear scan" in out
+    assert "two-pass binpacking" in out
+
+
+def test_compare_allocators_rejects_unknown():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "compare_allocators.py"), "quake3"],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode != 0
+    assert "unknown benchmark" in proc.stderr

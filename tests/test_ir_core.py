@@ -1,0 +1,60 @@
+"""Unit tests for the IR atoms: register classes, temps, registers, slots."""
+
+import pytest
+
+from repro.ir.temp import PhysReg, StackSlot, Temp, is_phys, is_temp
+from repro.ir.types import RegClass, zero_value
+
+
+class TestRegClass:
+    def test_prefixes(self):
+        assert RegClass.GPR.prefix == "t"
+        assert RegClass.FPR.prefix == "ft"
+
+    def test_zero_values(self):
+        assert zero_value(RegClass.GPR) == 0
+        assert isinstance(zero_value(RegClass.GPR), int)
+        assert zero_value(RegClass.FPR) == 0.0
+        assert isinstance(zero_value(RegClass.FPR), float)
+
+    def test_ordering_is_total_and_gpr_first(self):
+        assert RegClass.GPR < RegClass.FPR
+        assert not (RegClass.FPR < RegClass.GPR)
+        assert sorted([RegClass.FPR, RegClass.GPR]) == [RegClass.GPR,
+                                                        RegClass.FPR]
+
+
+class TestTemp:
+    def test_str_forms(self):
+        assert str(Temp(RegClass.GPR, 3)) == "t3"
+        assert str(Temp(RegClass.FPR, 7)) == "ft7"
+        assert str(Temp(RegClass.GPR, 1, "acc")) == "t1.acc"
+
+    def test_name_does_not_affect_equality(self):
+        assert Temp(RegClass.GPR, 5, "x") == Temp(RegClass.GPR, 5, "y")
+        assert hash(Temp(RegClass.GPR, 5, "x")) == hash(Temp(RegClass.GPR, 5))
+
+    def test_sorting_groups_by_class_then_id(self):
+        temps = [Temp(RegClass.FPR, 0), Temp(RegClass.GPR, 2),
+                 Temp(RegClass.GPR, 1)]
+        assert sorted(temps) == [Temp(RegClass.GPR, 1), Temp(RegClass.GPR, 2),
+                                 Temp(RegClass.FPR, 0)]
+
+    def test_distinct_classes_never_equal(self):
+        assert Temp(RegClass.GPR, 0) != Temp(RegClass.FPR, 0)
+
+
+class TestPhysRegAndSlot:
+    def test_str_forms(self):
+        assert str(PhysReg(RegClass.GPR, 4)) == "r4"
+        assert str(PhysReg(RegClass.FPR, 12)) == "f12"
+        assert str(StackSlot(3, RegClass.GPR)) == "[s3]"
+
+    def test_kind_predicates(self):
+        assert is_temp(Temp(RegClass.GPR, 0))
+        assert not is_temp(PhysReg(RegClass.GPR, 0))
+        assert is_phys(PhysReg(RegClass.FPR, 1))
+        assert not is_phys(Temp(RegClass.FPR, 1))
+
+    def test_temp_and_physreg_never_compare_equal(self):
+        assert Temp(RegClass.GPR, 0) != PhysReg(RegClass.GPR, 0)

@@ -1,0 +1,138 @@
+"""Printer/parser round trips and textual-format edge cases."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, SpillPhase, make
+from repro.ir.module import Module
+from repro.ir.parser import IRParseError, parse_function, parse_module, parse_reg
+from repro.ir.printer import print_function, print_instr, print_module
+from repro.ir.temp import PhysReg, StackSlot, Temp
+from repro.ir.types import RegClass
+
+G = RegClass.GPR
+F = RegClass.FPR
+
+
+class TestParseReg:
+    def test_forms(self):
+        assert parse_reg("t3") == Temp(G, 3)
+        assert parse_reg("ft12") == Temp(F, 12)
+        assert parse_reg("t5.count") == Temp(G, 5, "count")
+        assert parse_reg("r0") == PhysReg(G, 0)
+        assert parse_reg("f31") == PhysReg(F, 31)
+
+    def test_rejects_garbage(self):
+        for bad in ("x1", "t", "rr3", ""):
+            with pytest.raises(ValueError):
+                parse_reg(bad)
+
+
+class TestInstrText:
+    def test_operand_order_defs_first(self):
+        instr = make(Op.LD, defs=[Temp(G, 5)], uses=[Temp(G, 6)], imm=8)
+        assert print_instr(instr) == "ld t5, t6, 8"
+
+    def test_store_text(self):
+        instr = make(Op.ST, uses=[Temp(G, 1), Temp(G, 2)], imm=-4)
+        assert print_instr(instr) == "st t1, t2, -4"
+
+    def test_slot_text_carries_class(self):
+        instr = make(Op.LDS, defs=[Temp(F, 0)], slot=StackSlot(3, F))
+        assert print_instr(instr) == "lds ft0, [s3.f]"
+
+    def test_spill_phase_suffix(self):
+        instr = Instr(Op.STS, uses=[PhysReg(G, 1)], slot=StackSlot(0, G),
+                      spill_phase=SpillPhase.EVICT)
+        assert print_instr(instr).endswith("!evict")
+
+    def test_call_text(self):
+        instr = Instr(Op.CALL, defs=[PhysReg(G, 0)],
+                      uses=[PhysReg(G, 1), PhysReg(G, 2)], callee="f")
+        assert print_instr(instr) == "call @f(r1, r2) -> r0"
+
+    def test_float_immediate_round_trips_exactly(self):
+        instr = make(Op.FLI, defs=[Temp(F, 0)], imm=0.1)
+        fn = _wrap(instr)
+        reparsed = parse_function(print_function(fn))
+        assert reparsed.blocks[0].instrs[0].imm == 0.1
+
+
+def _wrap(*instrs) -> Function:
+    fn = Function("w")
+    builder = FunctionBuilder(fn)
+    builder.new_block("entry")
+    for instr in instrs:
+        builder.emit(instr)
+    builder.ret()
+    return fn
+
+
+def _sample_module() -> Module:
+    module = Module()
+    module.add_global("ints", G, 4, (1, -2, 3))
+    module.add_global("floats", F, 2, (0.5,))
+    fn = Function("main")
+    b = FunctionBuilder(fn)
+    b.new_block("entry")
+    x = b.li(7)
+    y = b.addi(x, -3)
+    cond = b.slt(y, x)
+    b.br(cond, "then", "out")
+    b.new_block("then")
+    f = b.fli(2.5)
+    g = b.fmul(f, f)
+    b.print_(g)
+    b.sts(y, StackSlot(0, G))
+    b.lds(StackSlot(0, G), b.temp())
+    b.jmp("out")
+    b.new_block("out")
+    b.print_(y)
+    b.ret(y)
+    module.add_function(fn)
+    return module
+
+
+class TestRoundTrip:
+    def test_module_round_trip_is_fixed_point(self):
+        module = _sample_module()
+        text = print_module(module)
+        reparsed = parse_module(text)
+        assert print_module(reparsed) == text
+
+    def test_globals_survive(self):
+        module = parse_module(print_module(_sample_module()))
+        assert module.globals["ints"].init == (1, -2, 3)
+        assert module.globals["floats"].regclass is F
+
+    def test_parsed_function_mints_fresh_temp_ids(self):
+        fn = parse_function("func f() {\nentry:\n  li t7, 1\n  ret t7\n}")
+        assert fn.new_temp(G).id == 8
+
+
+class TestParseErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(IRParseError, match="unknown opcode"):
+            parse_function("func f() {\nb:\n  frobnicate t0\n  ret\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRParseError, match="unterminated"):
+            parse_module("func f() {\nb:\n  ret")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(IRParseError, match="outside a block"):
+            parse_module("func f() {\n  nop\n}")
+
+    def test_trailing_operands(self):
+        with pytest.raises(IRParseError, match="trailing"):
+            parse_function("func f() {\nb:\n  nop t1\n  ret\n}")
+
+    def test_branch_to_missing_immediate(self):
+        with pytest.raises(IRParseError, match="missing"):
+            parse_function("func f() {\nb:\n  li t0\n  ret\n}")
+
+    def test_comments_and_blank_lines_ignored(self):
+        fn = parse_function(
+            "func f() {\n\nentry:\n  nop ;; a comment\n\n  ret\n}")
+        assert fn.instruction_count() == 2

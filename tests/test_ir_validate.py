@@ -1,0 +1,108 @@
+"""Validator tests: one per enforced invariant."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, make
+from repro.ir.module import Module
+from repro.ir.temp import PhysReg, StackSlot, Temp
+from repro.ir.types import RegClass
+from repro.ir.validate import IRValidationError, validate_function, validate_module
+
+G = RegClass.GPR
+F = RegClass.FPR
+
+
+def fn_with(instrs) -> Function:
+    fn = Function("f")
+    fn.add_block(BasicBlock("entry", instrs))
+    return fn
+
+
+def test_valid_function_passes():
+    validate_function(fn_with([make(Op.LI, defs=[Temp(G, 0)], imm=1),
+                               Instr(Op.RET, uses=[Temp(G, 0)])]))
+
+
+def test_empty_function_rejected():
+    with pytest.raises(IRValidationError, match="no blocks"):
+        validate_function(Function("f"))
+
+
+def test_empty_block_rejected():
+    with pytest.raises(IRValidationError, match="empty block"):
+        validate_function(fn_with([]))
+
+
+def test_missing_terminator_rejected():
+    with pytest.raises(IRValidationError, match="does not end"):
+        validate_function(fn_with([make(Op.NOP)]))
+
+
+def test_mid_block_terminator_rejected():
+    with pytest.raises(IRValidationError, match="middle"):
+        validate_function(fn_with([Instr(Op.RET), make(Op.NOP), Instr(Op.RET)]))
+
+
+def test_unknown_branch_target_rejected():
+    with pytest.raises(IRValidationError, match="unknown label"):
+        validate_function(fn_with([make(Op.JMP, targets=["nowhere"])]))
+
+
+def test_operand_class_mismatch_rejected():
+    bad = Instr(Op.ADD, defs=[Temp(G, 0)], uses=[Temp(G, 1), Temp(F, 2)])
+    with pytest.raises(IRValidationError, match="is not GPR"):
+        validate_function(fn_with([bad, Instr(Op.RET)]))
+
+
+def test_operand_count_mismatch_rejected():
+    bad = Instr(Op.ADD, defs=[Temp(G, 0)], uses=[Temp(G, 1)])
+    with pytest.raises(IRValidationError, match="bad use count"):
+        validate_function(fn_with([bad, Instr(Op.RET)]))
+
+
+def test_slot_class_mismatch_rejected():
+    bad = Instr(Op.LDS, defs=[Temp(G, 0)], slot=StackSlot(0, F))
+    with pytest.raises(IRValidationError, match="slot class"):
+        validate_function(fn_with([bad, Instr(Op.RET)]))
+
+
+def test_float_immediate_type_checked():
+    bad = Instr(Op.FLI, defs=[Temp(F, 0)], imm=3)  # int, not float
+    with pytest.raises(IRValidationError, match="is not float"):
+        validate_function(fn_with([bad, Instr(Op.RET)]))
+
+
+def test_ret_with_two_operands_rejected():
+    bad = Instr(Op.RET, uses=[Temp(G, 0), Temp(G, 1)])
+    with pytest.raises(IRValidationError, match="ret with 2"):
+        validate_function(fn_with([bad]))
+
+
+def test_duplicate_labels_rejected():
+    fn = Function("f")
+    fn.blocks.append(BasicBlock("x", [Instr(Op.RET)]))
+    fn.blocks.append(BasicBlock("x", [Instr(Op.RET)]))
+    with pytest.raises(IRValidationError, match="duplicate block label"):
+        validate_function(fn)
+
+
+def test_physical_mode_rejects_temps():
+    fn = fn_with([make(Op.LI, defs=[Temp(G, 0)], imm=1), Instr(Op.RET)])
+    validate_function(fn)  # fine virtually
+    with pytest.raises(IRValidationError, match="survived allocation"):
+        validate_function(fn, physical=True)
+
+
+def test_physical_mode_accepts_physregs():
+    fn = fn_with([make(Op.LI, defs=[PhysReg(G, 0)], imm=1), Instr(Op.RET)])
+    validate_function(fn, physical=True)
+
+
+def test_module_checks_call_targets():
+    fn = fn_with([Instr(Op.CALL, callee="missing"), Instr(Op.RET)])
+    module = Module()
+    module.add_function(fn)
+    with pytest.raises(IRValidationError, match="unknown function"):
+        validate_module(module)

@@ -1,0 +1,136 @@
+"""DCE, the move peephole, and the post-allocation verifier."""
+
+import pytest
+
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op, make
+from repro.ir.module import Module
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.passes.dce import eliminate_dead_code
+from repro.passes.peephole import remove_redundant_moves
+from repro.passes.verify_alloc import AllocationVerifyError, verify_allocation
+from repro.sim import simulate
+from repro.target import tiny
+
+G = RegClass.GPR
+
+
+class TestDCE:
+    def test_removes_unused_chain_transitively(self):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        a = b.li(1)
+        c = b.add(a, a)       # only feeds the dead mov below
+        b.mov(c)              # dead
+        kept = b.li(5)
+        b.print_(kept)
+        b.ret()
+        removed = eliminate_dead_code(fn)
+        assert removed == 3
+        assert fn.instruction_count() == 3  # li, print, ret
+
+    def test_keeps_faulting_and_effectful_ops(self):
+        module = Module()
+        arr = module.add_global("a", G, 2, (9,))
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        base = b.li(arr.base)
+        b.ld(base, 0)                      # result unused, but may fault
+        b.div(base, b.li(0))               # would fault: must stay
+        b.ret()
+        module.add_function(fn)
+        before = fn.instruction_count()
+        eliminate_dead_code(fn)
+        # Only nothing or pure values may vanish: ld, div, and their
+        # operands are all still live through the kept instructions.
+        assert any(i.op is Op.LD for i in fn.instructions())
+        assert any(i.op is Op.DIV for i in fn.instructions())
+
+    def test_respects_cross_block_liveness(self):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        x = b.li(3)
+        b.jmp("next")
+        b.new_block("next")
+        b.print_(x)
+        b.ret()
+        eliminate_dead_code(fn)
+        assert any(i.op is Op.LI for i in fn.instructions())
+
+    def test_removes_nops(self):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.nop()
+        b.ret()
+        assert eliminate_dead_code(fn) == 1
+
+    def test_physical_defs_never_removed(self):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.emit(Instr(Op.LI, defs=[PhysReg(G, 0)], imm=1))
+        b.ret()
+        assert eliminate_dead_code(fn) == 0
+
+
+class TestPeephole:
+    def test_removes_self_moves_only(self):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        r1, r2 = PhysReg(G, 1), PhysReg(G, 2)
+        b.emit(Instr(Op.MOV, defs=[r1], uses=[r1]))  # removable
+        b.emit(Instr(Op.MOV, defs=[r2], uses=[r1]))  # real copy
+        b.ret()
+        assert remove_redundant_moves(fn) == 1
+        assert fn.instruction_count() == 2
+
+    def test_execution_unchanged(self, tiny_machine):
+        module = Module()
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        r1 = PhysReg(G, 1)
+        b.emit(Instr(Op.LI, defs=[r1], imm=5))
+        b.emit(Instr(Op.MOV, defs=[r1], uses=[r1]))
+        b.emit(Instr(Op.PRINT, uses=[r1]))
+        b.ret()
+        module.add_function(fn)
+        before = simulate(module, tiny_machine).output
+        remove_redundant_moves(fn)
+        after = simulate(module, tiny_machine).output
+        assert before == after == [5]
+
+
+class TestVerifyAllocation:
+    def test_rejects_surviving_temp(self, tiny_machine):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.li(1)
+        b.ret()
+        with pytest.raises(AllocationVerifyError, match="survived"):
+            verify_allocation(fn, tiny_machine)
+
+    def test_rejects_out_of_range_register(self, tiny_machine):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.emit(Instr(Op.LI, defs=[PhysReg(G, 99)], imm=1))
+        b.ret()
+        with pytest.raises(AllocationVerifyError, match="does not exist"):
+            verify_allocation(fn, tiny_machine)
+
+    def test_accepts_clean_code(self, tiny_machine):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.emit(Instr(Op.LI, defs=[PhysReg(G, 1)], imm=1))
+        b.ret()
+        verify_allocation(fn, tiny_machine)

@@ -1,0 +1,156 @@
+"""Unit tests for the binpacking scan state (occupancy + consistency)."""
+
+import pytest
+
+from repro.allocators.base import SharedAnalyses
+from repro.allocators.binpack.state import MEM, BlockRecord, ScanState
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.target import tiny
+
+G = RegClass.GPR
+
+
+def make_state():
+    """A state over a small two-block function with one global temp."""
+    fn = Function("f")
+    b = FunctionBuilder(fn)
+    b.new_block("entry")
+    x = b.li(5)          # global: used in the next block
+    b.jmp("next")
+    b.new_block("next")
+    y = b.addi(x, 1)     # y is block-local
+    b.print_(y)
+    b.ret()
+    shared = SharedAnalyses.build(fn, tiny())
+    state = ScanState(shared.lifetimes, shared.liveness, shared.cfg)
+    return state, x, y
+
+
+class TestOccupancy:
+    def test_place_and_displace(self):
+        state, x, _ = make_state()
+        reg = PhysReg(G, 2)
+        state.place(x, reg)
+        assert state.loc[x] == reg
+        assert state.occupants_of(reg) == [x]
+        assert reg in state.ever_used
+        state.displace(x)
+        assert x not in state.loc
+        assert state.occupants_of(reg) == []
+
+    def test_prune_drops_expired_lifetimes(self):
+        state, x, _ = make_state()
+        reg = PhysReg(G, 2)
+        state.place(x, reg)
+        end = state.table.temps[x].end
+        state.prune(reg, end + 2)
+        assert state.occupants_of(reg) == []
+        assert x not in state.loc
+
+    def test_prune_keeps_live_occupants(self):
+        state, x, _ = make_state()
+        reg = PhysReg(G, 2)
+        state.place(x, reg)
+        state.prune(reg, state.table.temps[x].start)
+        assert state.occupants_of(reg) == [x]
+
+    def test_multiple_claimants(self):
+        state, x, y = make_state()
+        reg = PhysReg(G, 2)
+        state.place(x, reg)
+        state.place(y, reg)
+        assert state.occupants_of(reg) == [x, y]
+        state.displace(x)
+        assert state.occupants_of(reg) == [y]
+        assert state.loc[y] == reg
+
+
+class TestConsistencyBits:
+    def test_global_temp_uses_shared_vector(self):
+        state, x, _ = make_state()
+        assert not state.is_consistent(x)
+        state.set_consistent(x)
+        assert state.is_consistent(x)
+        state.clear_consistent(x)
+        assert not state.is_consistent(x)
+
+    def test_clear_records_wrote_tr(self):
+        state, x, _ = make_state()
+        state.begin_block("entry")
+        state.clear_consistent(x)
+        record = state.end_block("entry")
+        bit = state.liveness.index.bit(x)
+        assert record.wrote_tr >> bit & 1
+
+    def test_used_consistency_only_when_nonlocal(self):
+        state, x, _ = make_state()
+        state.begin_block("entry")
+        state.set_consistent(x)
+        state.note_consistency_used(x)  # W clear -> gen bit
+        record = state.end_block("entry")
+        bit = state.liveness.index.bit(x)
+        assert record.used_consistency >> bit & 1
+
+        state.begin_block("next")
+        state.clear_consistent(x)       # local write
+        state.set_consistent(x)         # local spill re-establishes
+        state.note_consistency_used(x)  # W set -> no gen bit
+        record2 = state.end_block("next")
+        assert not (record2.used_consistency >> bit & 1)
+
+    def test_block_local_temps_tracked_separately(self):
+        state, _, y = make_state()
+        state.begin_block("next")
+        state.set_consistent(y)
+        assert state.is_consistent(y)
+        state.clear_consistent(y)
+        assert not state.is_consistent(y)
+        # Locals never set shared-vector bits.
+        assert state.consistent == 0
+
+    def test_local_consistency_resets_each_block(self):
+        state, _, y = make_state()
+        state.begin_block("entry")
+        state.set_consistent(y)
+        state.begin_block("next")
+        assert not state.is_consistent(y)
+
+
+class TestBlockRecords:
+    def test_top_and_bottom_locations(self):
+        state, x, _ = make_state()
+        reg = PhysReg(G, 2)
+        state.begin_block("entry")
+        state.place(x, reg)
+        record = state.end_block("entry")
+        assert record.bottom_loc[x] == reg
+
+        record2 = state.begin_block("next")
+        assert record2.top_loc[x] == reg
+        state.displace(x)
+        final = state.end_block("next")
+        assert final.bottom_loc == {}  # nothing live out of "next"
+
+    def test_missing_location_defaults_to_memory(self):
+        state, x, _ = make_state()
+        record = state.begin_block("next")
+        assert record.top_loc[x] is MEM
+
+    def test_conservative_reinit_intersects_predecessors(self):
+        state, x, _ = make_state()
+        bit = state.liveness.index.bit(x)
+        state.begin_block("entry")
+        state.set_consistent(x)
+        state.end_block("entry")
+        state.begin_block("next")
+        state.reinit_consistency_conservative("next")
+        assert state.consistent >> bit & 1  # sole predecessor had it set
+
+    def test_conservative_reinit_clears_without_predecessors(self):
+        state, x, _ = make_state()
+        state.set_consistent(x)
+        state.reinit_consistency_conservative("entry")  # entry: no preds
+        assert state.consistent == 0
