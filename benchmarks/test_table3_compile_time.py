@@ -9,17 +9,22 @@ of the interference graph increases."
 
 We time the allocator cores (setup analyses excluded, as in Section 3.2)
 on synthetic modules built to the paper's candidate counts, with
-interference density growing with size.  The reproduced *shape*: rough
+interference density growing with size.  Each cell is the **median of at
+least three repetitions**, each measured through the phase profiler's
+``allocate`` span (the same clock ``alloc_seconds`` is defined by), so a
+single noisy run cannot skew a ratio.  The reproduced *shape*: rough
 parity at 245 candidates and a large coloring penalty at ~6200+.
 """
 
 import copy
-import time
+import os
+import statistics
 
 import pytest
 
 from repro.allocators import GraphColoring, SecondChanceBinpacking
 from repro.allocators.base import allocate_module
+from repro.obs import PhaseProfiler
 from repro.stats.report import format_table
 from repro.target import alpha
 from repro.workloads.synthetic import scaled_module
@@ -30,13 +35,22 @@ from _harness import emit_table
 #: fpppp fpppp.f).
 SIZES = [245, 6218, 6697]
 
+#: Timing repetitions per cell; the reported core time is the median.
+REPETITIONS = max(3, int(os.environ.get("REPRO_TABLE3_REPS", "3")))
+
 _RECORDED: dict[tuple[str, int], dict] = {}
 
 
 def _run_core(n: int, allocator_factory):
     module = scaled_module(n)
     working = copy.deepcopy(module)
-    stats = allocate_module(working, allocator_factory(), alpha())
+    profiler = PhaseProfiler()
+    stats = allocate_module(working, allocator_factory(), alpha(),
+                            profiler=profiler)
+    # alloc_seconds *is* the profiler's "allocate" phase measurement;
+    # assert the identity so the benchmark numbers stay anchored to the
+    # instrumentation they claim to come from.
+    assert abs(stats.alloc_seconds - profiler.seconds("allocate")) < 1e-9
     return stats
 
 
@@ -46,12 +60,20 @@ def _run_core(n: int, allocator_factory):
                          ids=["binpack", "coloring"])
 def test_table3_core_timing(benchmark, allocator_factory, n):
     """One benchmark per (allocator, size) cell of Table 3."""
-    rounds = 3 if n <= 1000 else 1
-    stats = benchmark.pedantic(_run_core, args=(n, allocator_factory),
-                               rounds=rounds, iterations=1, warmup_rounds=0)
+    samples = []
+
+    def one_rep():
+        stats = _run_core(n, allocator_factory)
+        samples.append(stats)
+        return stats
+
+    benchmark.pedantic(one_rep, rounds=REPETITIONS, iterations=1,
+                       warmup_rounds=0)
+    stats = samples[-1]
     key = (stats.allocator, n)
     _RECORDED[key] = {
-        "core_seconds": stats.alloc_seconds,
+        "core_seconds": statistics.median(s.alloc_seconds for s in samples),
+        "repetitions": len(samples),
         "candidates": stats.total_candidates(),
         "edges": sum(stats.interference_edges.values()),
         "rounds": sum(stats.coloring_iterations.values()),
@@ -66,6 +88,8 @@ def test_table3_report(benchmark, capsys):
                if (alloc, n) not in _RECORDED]
     if missing:
         pytest.skip(f"timing cells not run: {missing}")
+    reps = min(_RECORDED[key]["repetitions"] for key in _RECORDED)
+    assert reps >= 3, "each Table 3 cell must be timed at least 3 times"
     rows = []
     for n in SIZES:
         b = _RECORDED[("second-chance binpacking", n)]
@@ -78,7 +102,8 @@ def test_table3_report(benchmark, capsys):
          "color rounds", "GC core (s)", "binpack core (s)", "GC/binpack"],
         rows,
         title=("Table 3: allocation-core time vs problem size "
-               "(edges/rounds cover all coloring iterations)"))
+               f"(median of {reps} repetitions per cell; edges/rounds "
+               "cover all coloring iterations)"))
     emit_table(capsys, "table3.txt", table)
     small, large = rows[0], rows[-1]
     # The paper's shape: coloring competitive on the small module...

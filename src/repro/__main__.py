@@ -8,11 +8,18 @@ Subcommands:
 * ``compare FILE.mc``   — run every allocator and print a Table-1-style
                           comparison;
 * ``bench NAME``        — the same comparison on a built-in benchmark
-                          analog (``python -m repro bench wc``).
+                          analog (``python -m repro bench wc``);
+* ``trace FILE.mc``     — stream the allocator's decision events
+                          (assigns, evictions, reloads, resolution
+                          fixes) as they happen, plus a count summary;
+* ``profile FILE.mc``   — per-phase wall-clock profile of the pipeline
+                          and the counters every layer published.
 
 Options shared by all subcommands: ``--machine alpha|tiny`` (default
 alpha), ``--allocator second-chance|two-pass|coloring|poletto`` (default
-second-chance, where a single allocator applies), ``--spill-cleanup``.
+second-chance, where a single allocator applies), ``--spill-cleanup``,
+and ``--trace-out FILE.jsonl`` (write every allocation event as one
+JSON object per line; see docs/OBSERVABILITY.md for the schema).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.allocators import (
 )
 from repro.ir.printer import print_module
 from repro.lang import compile_minic
+from repro.obs import JsonlSink, PhaseProfiler, RingBufferSink, TextSink, Tracer
 from repro.pipeline import run_allocator
 from repro.sim import simulate
 from repro.sim.machine import outputs_equal
@@ -59,12 +67,43 @@ def _load_module(path: str, machine):
     return compile_minic(source, machine)
 
 
+class _TraceOut:
+    """The optional ``--trace-out FILE.jsonl`` sink, usable as a context
+    manager so the file is flushed and closed on every exit path."""
+
+    def __init__(self, args: argparse.Namespace):
+        self.path = getattr(args, "trace_out", None)
+        self.handle = None
+
+    def __enter__(self) -> "_TraceOut":
+        if self.path:
+            try:
+                self.handle = open(self.path, "w")
+            except OSError as exc:
+                raise SystemExit(f"cannot write {self.path}: {exc}")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.handle is not None:
+            self.handle.close()
+
+    def tracer(self, *extra_sinks) -> Tracer | None:
+        """A tracer over the JSONL sink plus ``extra_sinks`` (or ``None``
+        when there is nothing to trace into — tracing stays free)."""
+        sinks = [s for s in extra_sinks if s is not None]
+        if self.handle is not None:
+            sinks.append(JsonlSink(self.handle))
+        return Tracer(sinks) if sinks else None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     module = _load_module(args.file, machine)
     allocator = ALLOCATORS[args.allocator]()
-    result = run_allocator(module, allocator, machine,
-                           spill_cleanup=args.spill_cleanup)
+    with _TraceOut(args) as out:
+        result = run_allocator(module, allocator, machine,
+                               spill_cleanup=args.spill_cleanup,
+                               trace=out.tracer())
     outcome = simulate(result.module, machine)
     for value in outcome.output:
         print(value)
@@ -82,18 +121,21 @@ def cmd_compile(args: argparse.Namespace) -> int:
         print(print_module(module))
         return 0
     allocator = ALLOCATORS[args.allocator]()
-    result = run_allocator(module, allocator, machine,
-                           spill_cleanup=args.spill_cleanup)
+    with _TraceOut(args) as out:
+        result = run_allocator(module, allocator, machine,
+                               spill_cleanup=args.spill_cleanup,
+                               trace=out.tracer())
     print(print_module(result.module))
     return 0
 
 
-def _comparison(module, machine, spill_cleanup: bool) -> str:
+def _comparison(module, machine, spill_cleanup: bool,
+                trace: Tracer | None = None) -> str:
     reference = simulate(module, machine)
     rows = []
     for name, factory in ALLOCATORS.items():
         result = run_allocator(module, factory(), machine,
-                               spill_cleanup=spill_cleanup)
+                               spill_cleanup=spill_cleanup, trace=trace)
         outcome = simulate(result.module, machine)
         if not outputs_equal(outcome.output, reference.output):
             raise SystemExit(f"{name}: allocation changed program output!")
@@ -107,7 +149,9 @@ def _comparison(module, machine, spill_cleanup: bool) -> str:
 def cmd_compare(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     module = _load_module(args.file, machine)
-    print(_comparison(module, machine, args.spill_cleanup))
+    with _TraceOut(args) as out:
+        print(_comparison(module, machine, args.spill_cleanup,
+                          trace=out.tracer()))
     return 0
 
 
@@ -120,7 +164,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     module = build_program(args.name, machine)
     print(f"benchmark analog: {args.name} on {machine}")
-    print(_comparison(module, machine, args.spill_cleanup))
+    with _TraceOut(args) as out:
+        print(_comparison(module, machine, args.spill_cleanup,
+                          trace=out.tracer()))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    module = _load_module(args.file, machine)
+    allocator = ALLOCATORS[args.allocator]()
+    text_sink = None if args.quiet else TextSink(sys.stdout)
+    with _TraceOut(args) as out:
+        tracer = out.tracer(text_sink)
+        if tracer is None:
+            # --quiet without --trace-out: count events, print nothing.
+            tracer = Tracer([RingBufferSink()])
+        result = run_allocator(module, allocator, machine,
+                               spill_cleanup=args.spill_cleanup,
+                               trace=tracer)
+    rows = [[kind.value, count] for kind, count in tracer.counts.items()]
+    print(format_table(["event", "count"], rows,
+                       title=f"event summary: {allocator.name}"))
+    if args.trace_out:
+        total = sum(tracer.counts.values())
+        print(f"# {total} events written to {args.trace_out}",
+              file=sys.stderr)
+    # Keep the allocated module honest even in trace mode.
+    simulate(result.module, machine)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    module = _load_module(args.file, machine)
+    allocator = ALLOCATORS[args.allocator]()
+    profiler = PhaseProfiler()
+    with _TraceOut(args) as out:
+        result = run_allocator(module, allocator, machine,
+                               spill_cleanup=args.spill_cleanup,
+                               profiler=profiler, trace=out.tracer())
+    stats = result.stats
+    print(profiler.render(title=f"phase profile: {allocator.name}"))
+    print(f"alloc_seconds = {stats.alloc_seconds * 1e3:.3f} ms "
+          f"(== the 'allocate' phase, Table 3's timed core)")
+    print()
+    print(stats.metrics.render(title="metrics"))
     return 0
 
 
@@ -136,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="target machine (default: alpha)")
         p.add_argument("--spill-cleanup", action="store_true",
                        help="run the post-allocation spill-code cleanup")
+        p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
+                       help="write allocation events as JSON lines")
         if with_allocator:
             p.add_argument("--allocator", default="second-chance",
                            choices=sorted(ALLOCATORS),
@@ -164,6 +255,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("name")
     common(bench_p, with_allocator=False)
     bench_p.set_defaults(func=cmd_bench)
+
+    trace_p = sub.add_parser(
+        "trace", help="stream allocation decision events for a minic file")
+    trace_p.add_argument("file")
+    trace_p.add_argument("--quiet", action="store_true",
+                         help="suppress the per-event lines (summary only)")
+    common(trace_p)
+    trace_p.set_defaults(func=cmd_trace)
+
+    profile_p = sub.add_parser(
+        "profile", help="per-phase wall-clock profile of the pipeline")
+    profile_p.add_argument("file")
+    common(profile_p)
+    profile_p.set_defaults(func=cmd_profile)
     return parser
 
 

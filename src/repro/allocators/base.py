@@ -16,7 +16,6 @@ common to both allocators".
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field
 
 from repro.cfg.cfg import CFG
@@ -29,6 +28,9 @@ from repro.ir.module import Module
 from repro.ir.temp import PhysReg, StackSlot, Temp
 from repro.ir.types import RegClass
 from repro.lifetimes.intervals import LifetimeTable, compute_lifetimes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfiler
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.target.machine import MachineDescription
 
 
@@ -48,12 +50,24 @@ class SharedAnalyses:
     lifetimes: LifetimeTable
 
     @classmethod
-    def build(cls, fn: Function, machine: MachineDescription) -> "SharedAnalyses":
-        """Run the shared setup passes for ``fn``."""
-        cfg = CFG.build(fn)
-        liveness = compute_liveness(fn, cfg)
-        loops = LoopInfo.build(cfg)
-        lifetimes = compute_lifetimes(fn, machine, cfg, liveness, loops)
+    def build(cls, fn: Function, machine: MachineDescription,
+              profiler: PhaseProfiler | None = None) -> "SharedAnalyses":
+        """Run the shared setup passes for ``fn``.
+
+        With a ``profiler``, each analysis is timed under a ``setup.*``
+        phase (the paper's timings *exclude* these, and so does
+        ``alloc_seconds``; the profiler is how the exclusion is visible).
+        """
+        if profiler is None:
+            profiler = PhaseProfiler()  # discarded; keeps one code path
+        with profiler.phase("setup.cfg"):
+            cfg = CFG.build(fn)
+        with profiler.phase("setup.liveness"):
+            liveness = compute_liveness(fn, cfg)
+        with profiler.phase("setup.loops"):
+            loops = LoopInfo.build(cfg)
+        with profiler.phase("setup.lifetimes"):
+            lifetimes = compute_lifetimes(fn, machine, cfg, liveness, loops)
         return cls(cfg, liveness, loops, lifetimes)
 
 
@@ -80,6 +94,13 @@ class AllocationStats:
             consistency dataflow (binpacking only).
         interference_edges: Edges in the final interference graph per
             function (coloring allocator only).
+        trace: The allocation-event tracer instrumented sites emit into
+            (the disabled :data:`~repro.obs.trace.NULL_TRACER` by
+            default; see :mod:`repro.obs.trace`).
+        profiler: The phase profiler that measured this run;
+            ``alloc_seconds`` is its ``allocate`` phase.
+        metrics: The counters registry this run published into
+            (see :mod:`repro.obs.metrics`).
     """
 
     allocator: str
@@ -92,15 +113,20 @@ class AllocationStats:
     coloring_iterations: dict[str, int] = field(default_factory=dict)
     dataflow_iterations: dict[str, int] = field(default_factory=dict)
     interference_edges: dict[str, int] = field(default_factory=dict)
+    trace: Tracer = field(default=NULL_TRACER, repr=False)
+    profiler: PhaseProfiler = field(default_factory=PhaseProfiler, repr=False)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry,
+                                     repr=False)
 
     def total_candidates(self) -> int:
         """Register candidates across the module."""
         return sum(self.candidates.values())
 
     def bump_spill(self, phase: SpillPhase, kind: str, count: int = 1) -> None:
-        """Accumulate a static spill-code count."""
+        """Accumulate a static spill-code count (and its metric)."""
         key = (phase, kind)
         self.spill_static[key] = self.spill_static.get(key, 0) + count
+        self.metrics.bump(f"alloc.spill.{phase.value}.{kind}", count)
 
 
 class SpillSlots:
@@ -118,6 +144,11 @@ class SpillSlots:
             self._next += 1
             self._slots[temp] = slot
         return slot
+
+    def has_home(self, temp: Temp) -> bool:
+        """Whether ``temp`` already has a memory home (without creating
+        one) — i.e. a spill store has been emitted or postponed for it."""
+        return temp in self._slots
 
     def fresh(self, regclass: RegClass) -> StackSlot:
         """An anonymous slot (callee saves)."""
@@ -216,21 +247,44 @@ class RegisterAllocator(abc.ABC):
 
 
 def allocate_module(module: Module, allocator: RegisterAllocator,
-                    machine: MachineDescription) -> AllocationStats:
+                    machine: MachineDescription, *,
+                    trace: Tracer | None = None,
+                    profiler: PhaseProfiler | None = None,
+                    metrics: MetricsRegistry | None = None) -> AllocationStats:
     """Run ``allocator`` over every function of ``module`` (in place).
 
-    Shared analyses are computed outside the timed region; the returned
-    stats carry the summed core time (Table 3's measurement).
+    Shared analyses run under ``setup.*`` phases, outside the timed core;
+    the core runs under the ``allocate`` phase of the stats' profiler and
+    ``alloc_seconds`` is that phase's measurement (Table 3's number).
+    The optional ``trace``/``profiler``/``metrics`` plug external
+    observability in; by default tracing is disabled and the profiler
+    and metrics registry are fresh per run (reachable via the stats).
     """
-    stats = AllocationStats(allocator=allocator.name)
+    # `is None` checks, not `or`: an empty MetricsRegistry is falsy.
+    stats = AllocationStats(
+        allocator=allocator.name,
+        trace=NULL_TRACER if trace is None else trace,
+        profiler=PhaseProfiler() if profiler is None else profiler,
+        metrics=MetricsRegistry() if metrics is None else metrics)
+    tr = stats.trace
+    prof = stats.profiler
     for fn in module.functions.values():
-        shared = SharedAnalyses.build(fn, machine)
+        if tr.enabled:
+            tr.set_location(fn=fn.name)
+        with prof.phase("setup"):
+            shared = SharedAnalyses.build(fn, machine, prof)
         slots = SpillSlots()
         stats.candidates[fn.name] = len(fn.all_temps())
-        start = time.perf_counter()
-        allocator.allocate_function(fn, machine, shared, slots, stats)
-        stats.alloc_seconds += time.perf_counter() - start
-        used = insert_callee_saved_code(fn, machine, slots)
+        with prof.phase("allocate") as core:
+            allocator.allocate_function(fn, machine, shared, slots, stats)
+        stats.alloc_seconds += core.seconds
+        with prof.phase("frame.callee_saved"):
+            used = insert_callee_saved_code(fn, machine, slots)
         stats.callee_saved_used[fn.name] = len(used)
         stats.spilled_temps[fn.name] = len(slots.spilled_temps())
+        stats.metrics.bump("alloc.candidates", stats.candidates[fn.name])
+        stats.metrics.bump("alloc.spilled_temps", stats.spilled_temps[fn.name])
+        stats.metrics.bump("alloc.callee_saved_used", len(used))
+    stats.metrics.set("alloc.seconds", stats.alloc_seconds)
+    stats.metrics.bump("alloc.functions", len(module.functions))
     return stats

@@ -53,6 +53,7 @@ from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
 from repro.lifetimes.intervals import LifetimeTable, RangeSet
+from repro.obs.trace import EventKind
 from repro.target.machine import MachineDescription
 
 #: Stands in for "no reservation / occupant ever again".
@@ -173,11 +174,15 @@ class SecondChanceBinpacking(RegisterAllocator):
         otherwise tries the early-second-chance move and falls back to a
         spill store.
         """
+        tr = stats.trace
         lifetime = table.temps[temp]
         if not lifetime.alive_at(point):
             state.displace(temp)
             return
         if self.options.avoid_consistent_stores and state.is_consistent(temp):
+            if tr.enabled:
+                tr.emit(EventKind.STORE_ELIDED_CONSISTENT, point=point,
+                        temp=temp, reg=reg)
             state.note_consistency_used(temp)
             state.displace(temp)
             return
@@ -189,12 +194,20 @@ class SecondChanceBinpacking(RegisterAllocator):
                 pre.append(Instr(op, defs=[target], uses=[reg],
                                  spill_phase=SpillPhase.EVICT))
                 stats.bump_spill(SpillPhase.EVICT, "move")
+                if tr.enabled:
+                    tr.emit(EventKind.EVICT, point=point, temp=temp, reg=reg,
+                            detail=f"move->{target}")
                 state.displace(temp)
                 state.place(temp, target)
                 return
         pre.append(Instr(Op.STS, uses=[reg], slot=slots.home(temp),
                          spill_phase=SpillPhase.EVICT))
         stats.bump_spill(SpillPhase.EVICT, "store")
+        if tr.enabled:
+            tr.emit(EventKind.EVICT, point=point, temp=temp, reg=reg,
+                    detail="store")
+            tr.emit(EventKind.SPILL_STORE_EMITTED, point=point, temp=temp,
+                    reg=reg)
         state.set_consistent(temp)
         state.displace(temp)
 
@@ -264,6 +277,11 @@ class SecondChanceBinpacking(RegisterAllocator):
         if chosen is None:
             chosen = self._evict_lowest_priority(
                 state, table, slots, stats, temp, point, locked, pre)
+        tr = stats.trace
+        if tr.enabled:
+            shared_hole = bool(state.occupants_of(chosen))
+            tr.emit(EventKind.HOLE_REUSE if shared_hole else EventKind.ASSIGN,
+                    point=point, temp=temp, reg=chosen)
         state.place(temp, chosen)
         return chosen
 
@@ -316,65 +334,88 @@ class SecondChanceBinpacking(RegisterAllocator):
         table = shared.lifetimes
         state = ScanState(table, shared.liveness, shared.cfg)
         opts = self.options
+        tr = stats.trace
 
-        for block in fn.blocks:
-            state.begin_block(block.label)
-            if opts.conservative_consistency:
-                state.reinit_consistency_conservative(block.label)
-            rewritten: list[Instr] = []
-            for instr in block.instrs:
-                use_point = table.use_point(instr)
-                def_point = use_point + 1
-                pre: list[Instr] = []
-                locked: set[PhysReg] = set()
+        with stats.profiler.phase("allocate.scan"):
+            for block in fn.blocks:
+                if tr.enabled:
+                    tr.set_location(block=block.label)
+                state.begin_block(block.label)
+                if opts.conservative_consistency:
+                    state.reinit_consistency_conservative(block.label)
+                rewritten: list[Instr] = []
+                for instr in block.instrs:
+                    use_point = table.use_point(instr)
+                    def_point = use_point + 1
+                    pre: list[Instr] = []
+                    locked: set[PhysReg] = set()
 
-                # 1. Reservation events: convention reclaims registers.
-                self._process_reservations(state, table, slots, stats,
-                                           use_point, pre, locked)
+                    # 1. Reservation events: convention reclaims registers.
+                    self._process_reservations(state, table, slots, stats,
+                                               use_point, pre, locked)
 
-                # 2. Uses.
-                for i, use in enumerate(instr.uses):
-                    if isinstance(use, PhysReg):
-                        locked.add(use)
-                        continue
-                    reg = state.loc.get(use)
-                    if reg is None:
-                        reg = self._find_register(state, table, slots, stats,
-                                                  use, use_point, locked, pre)
-                        pre.append(Instr(Op.LDS, defs=[reg],
-                                         slot=slots.home(use),
-                                         spill_phase=SpillPhase.EVICT))
-                        stats.bump_spill(SpillPhase.EVICT, "load")
-                        state.set_consistent(use)
-                    instr.uses[i] = reg
-                    locked.add(reg)
+                    # 2. Uses.
+                    for i, use in enumerate(instr.uses):
+                        if isinstance(use, PhysReg):
+                            locked.add(use)
+                            continue
+                        reg = state.loc.get(use)
+                        if reg is None:
+                            reg = self._find_register(state, table, slots,
+                                                      stats, use, use_point,
+                                                      locked, pre)
+                            pre.append(Instr(Op.LDS, defs=[reg],
+                                             slot=slots.home(use),
+                                             spill_phase=SpillPhase.EVICT))
+                            stats.bump_spill(SpillPhase.EVICT, "load")
+                            if tr.enabled:
+                                tr.emit(EventKind.SECOND_CHANCE_RELOAD,
+                                        point=use_point, temp=use, reg=reg)
+                            state.set_consistent(use)
+                        instr.uses[i] = reg
+                        locked.add(reg)
 
-                # 3. Defs.
-                for i, dst in enumerate(instr.defs):
-                    if isinstance(dst, PhysReg):
-                        locked.add(dst)
-                        continue
-                    reg = state.loc.get(dst)
-                    if reg is None and opts.move_elimination and instr.is_move:
-                        reg = self._try_move_elimination(
-                            state, table, stats, instr, dst, def_point)
-                    if reg is None:
-                        reg = self._find_register(state, table, slots, stats,
-                                                  dst, def_point, locked, pre)
-                    instr.defs[i] = reg
-                    locked.add(reg)
-                    state.clear_consistent(dst)
+                    # 3. Defs.
+                    for i, dst in enumerate(instr.defs):
+                        if isinstance(dst, PhysReg):
+                            locked.add(dst)
+                            continue
+                        reg = state.loc.get(dst)
+                        if (reg is None and opts.move_elimination
+                                and instr.is_move):
+                            reg = self._try_move_elimination(
+                                state, table, stats, instr, dst, def_point)
+                        if reg is None:
+                            reg = self._find_register(state, table, slots,
+                                                      stats, dst, def_point,
+                                                      locked, pre)
+                        if tr.enabled and slots.has_home(dst):
+                            # The redefined value's memory home goes stale:
+                            # its store back is postponed until eviction.
+                            tr.emit(EventKind.SPILL_STORE_POSTPONED,
+                                    point=def_point, temp=dst, reg=reg)
+                        instr.defs[i] = reg
+                        locked.add(reg)
+                        state.clear_consistent(dst)
 
-                rewritten.extend(pre)
-                rewritten.append(instr)
-            block.instrs = rewritten
-            state.end_block(block.label)
+                    rewritten.extend(pre)
+                    rewritten.append(instr)
+                block.instrs = rewritten
+                state.end_block(block.label)
 
-        iterations = resolve_edges(fn, machine, shared, state, slots, stats,
-                                   avoid_consistent_stores=opts.avoid_consistent_stores,
-                                   run_dataflow=(opts.avoid_consistent_stores
-                                                 and not opts.conservative_consistency))
+        with stats.profiler.phase("allocate.resolve"):
+            iterations = resolve_edges(
+                fn, machine, shared, state, slots, stats,
+                avoid_consistent_stores=opts.avoid_consistent_stores,
+                run_dataflow=(opts.avoid_consistent_stores
+                              and not opts.conservative_consistency))
         stats.dataflow_iterations[fn.name] = iterations
+        stats.metrics.bump("binpack.resolution.dataflow_iterations",
+                           iterations)
+        stats.metrics.bump("binpack.scan.placements", state.stat_placements)
+        stats.metrics.bump("binpack.scan.hole_shares", state.stat_hole_shares)
+        stats.metrics.bump("binpack.scan.consistency_assumptions",
+                           state.stat_consistency_assumptions)
 
     def _process_reservations(self, state: ScanState, table: LifetimeTable,
                               slots: SpillSlots, stats: AllocationStats,
@@ -412,4 +453,9 @@ class SecondChanceBinpacking(RegisterAllocator):
                 return None
         state.place(dst, src)
         stats.moves_eliminated += 1
+        stats.metrics.bump("binpack.moves_eliminated")
+        tr = stats.trace
+        if tr.enabled:
+            tr.emit(EventKind.MOVE_ELIMINATED, point=def_point, temp=dst,
+                    reg=src)
         return src

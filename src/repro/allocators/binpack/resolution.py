@@ -49,6 +49,7 @@ from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
+from repro.obs.trace import EventKind
 from repro.target.machine import MachineDescription
 
 
@@ -67,6 +68,7 @@ def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
     remain, one temp detours through its own memory home (store now, load
     after the rest of its cycle has drained).
     """
+    tr = stats.trace
     pending = [(src, dst, temp) for src, dst, temp in moves if src != dst]
     out: list[Instr] = []
     deferred: list[Instr] = []
@@ -81,6 +83,9 @@ def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
             out.append(Instr(_move_op(temp.regclass), defs=[dst], uses=[src],
                              spill_phase=SpillPhase.RESOLVE))
             stats.bump_spill(SpillPhase.RESOLVE, "move")
+            if tr.enabled:
+                tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp, reg=dst,
+                        detail="move")
             pending.pop(i)
             emitted = True
             break
@@ -93,6 +98,11 @@ def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
             deferred.append(Instr(Op.LDS, defs=[dst], slot=home,
                                   spill_phase=SpillPhase.RESOLVE))
             stats.bump_spill(SpillPhase.RESOLVE, "load")
+            if tr.enabled:
+                tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp, reg=src,
+                        detail="store (cycle break)")
+                tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp, reg=dst,
+                        detail="load (cycle break)")
     out.extend(deferred)
     return out
 
@@ -152,49 +162,67 @@ def resolve_edges(fn: Function, machine: MachineDescription,
                         and not (record.wrote_tr >> bit & 1)):
                     extra_gen[pred] |= 1 << bit
 
+    tr = stats.trace
     iterations = 0
     used_c_in: dict[str, int] = {label: 0 for label in records}
     if run_dataflow:
-        gen = {label: records[label].used_consistency | extra_gen[label]
-               for label in records}
-        kill = {label: records[label].wrote_tr for label in records}
-        result = solve(DataflowProblem(cfg, Direction.BACKWARD, gen, kill))
-        used_c_in = result.in_
-        iterations = result.iterations
+        with stats.profiler.phase("allocate.resolve.dataflow"):
+            gen = {label: records[label].used_consistency | extra_gen[label]
+                   for label in records}
+            kill = {label: records[label].wrote_tr for label in records}
+            result = solve(DataflowProblem(cfg, Direction.BACKWARD, gen, kill))
+            used_c_in = result.in_
+            iterations = result.iterations
 
-    for pred, succ in edges:
-        record = records[pred]
-        stores: list[Instr] = []
-        moves: list[tuple[PhysReg, PhysReg, Temp]] = []
-        loads: list[Instr] = []
-        for temp, src, dst in edge_traffic(pred, succ):
-            if isinstance(src, PhysReg):
-                bit = index.bit_or_none(temp)
-                consistent = (bit is not None
-                              and bool(record.consistent_at_end >> bit & 1))
-                needs_store = False
-                if dst is MEM:
-                    needs_store = not (avoid_consistent_stores and consistent)
-                elif (run_dataflow and bit is not None
-                        and used_c_in[succ] >> bit & 1 and not consistent):
-                    # A path from ``succ`` exploits consistency this edge
-                    # does not deliver (Section 2.4's insertion rule).
-                    needs_store = True
-                if needs_store:
-                    stores.append(Instr(Op.STS, uses=[src],
-                                        slot=slots.home(temp),
-                                        spill_phase=SpillPhase.RESOLVE))
-                    stats.bump_spill(SpillPhase.RESOLVE, "store")
-                if isinstance(dst, PhysReg) and dst != src:
-                    moves.append((src, dst, temp))
-            else:  # src is MEM; the scan guarantees dst in {MEM, reg}
-                if isinstance(dst, PhysReg):
-                    loads.append(Instr(Op.LDS, defs=[dst],
-                                       slot=slots.home(temp),
-                                       spill_phase=SpillPhase.RESOLVE))
-                    stats.bump_spill(SpillPhase.RESOLVE, "load")
-        if not (stores or moves or loads):
-            continue
-        batch = stores + sequentialize_moves(moves, slots, stats) + loads
-        _place_batch(fn, shared, pred, succ, batch)
+    with stats.profiler.phase("allocate.resolve.patch"):
+        for pred, succ in edges:
+            record = records[pred]
+            if tr.enabled:
+                tr.set_location(block=pred)
+                edge = f"->{succ}"
+            stores: list[Instr] = []
+            moves: list[tuple[PhysReg, PhysReg, Temp]] = []
+            loads: list[Instr] = []
+            for temp, src, dst in edge_traffic(pred, succ):
+                if isinstance(src, PhysReg):
+                    bit = index.bit_or_none(temp)
+                    consistent = (bit is not None
+                                  and bool(record.consistent_at_end >> bit & 1))
+                    needs_store = False
+                    if dst is MEM:
+                        needs_store = not (avoid_consistent_stores
+                                           and consistent)
+                        if tr.enabled and not needs_store:
+                            tr.emit(EventKind.STORE_ELIDED_CONSISTENT,
+                                    temp=temp, reg=src, detail=f"edge{edge}")
+                    elif (run_dataflow and bit is not None
+                            and used_c_in[succ] >> bit & 1 and not consistent):
+                        # A path from ``succ`` exploits consistency this edge
+                        # does not deliver (Section 2.4's insertion rule).
+                        needs_store = True
+                    if needs_store:
+                        stores.append(Instr(Op.STS, uses=[src],
+                                            slot=slots.home(temp),
+                                            spill_phase=SpillPhase.RESOLVE))
+                        stats.bump_spill(SpillPhase.RESOLVE, "store")
+                        if tr.enabled:
+                            tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp,
+                                    reg=src, detail=f"store{edge}")
+                    if isinstance(dst, PhysReg) and dst != src:
+                        moves.append((src, dst, temp))
+                else:  # src is MEM; the scan guarantees dst in {MEM, reg}
+                    if isinstance(dst, PhysReg):
+                        loads.append(Instr(Op.LDS, defs=[dst],
+                                           slot=slots.home(temp),
+                                           spill_phase=SpillPhase.RESOLVE))
+                        stats.bump_spill(SpillPhase.RESOLVE, "load")
+                        if tr.enabled:
+                            tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp,
+                                    reg=dst, detail=f"load{edge}")
+            if not (stores or moves or loads):
+                continue
+            batch = stores + sequentialize_moves(moves, slots, stats) + loads
+            stats.metrics.bump("binpack.resolution.edges_patched")
+            stats.metrics.bump("binpack.resolution.instructions", len(batch))
+            _place_batch(fn, shared, pred, succ, batch)
     return iterations

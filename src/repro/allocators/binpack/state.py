@@ -77,6 +77,11 @@ class ScanState:
         self.records: dict[str, BlockRecord] = {}
         self._wrote: int = 0
         self._used: int = 0
+        #: Scan-shape counters the allocator publishes into the metrics
+        #: registry (see :mod:`repro.obs.metrics`) after the scan.
+        self.stat_placements: int = 0
+        self.stat_hole_shares: int = 0
+        self.stat_consistency_assumptions: int = 0
 
     # ------------------------------------------------------------------
     # Occupancy.
@@ -103,7 +108,11 @@ class ScanState:
 
     def place(self, temp: Temp, reg: PhysReg) -> None:
         """Give ``temp`` a claim on ``reg`` and make it resident there."""
-        self.occupants.setdefault(reg, []).append(temp)
+        claim = self.occupants.setdefault(reg, [])
+        if claim:
+            self.stat_hole_shares += 1
+        claim.append(temp)
+        self.stat_placements += 1
         self.loc[temp] = reg
         self.ever_used.add(reg)
 
@@ -157,6 +166,7 @@ class ScanState:
             return
         if not (self._wrote >> bit & 1):
             self._used |= 1 << bit
+            self.stat_consistency_assumptions += 1
 
     # ------------------------------------------------------------------
     # Block boundaries.

@@ -43,6 +43,7 @@ from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
+from repro.obs.trace import EventKind
 from repro.target.machine import MachineDescription
 
 
@@ -363,15 +364,25 @@ class _ClassColoring:
                     forbidden.add(self.color[w])
             chosen = next((c for c in self.color_order if c not in forbidden),
                           None)
+            tr = self.stats.trace
             if chosen is None:
                 self.spilled_nodes.add(n)
+                if tr.enabled:
+                    tr.emit(EventKind.EVICT, temp=n,
+                            detail=f"no color (round {self.rounds})")
             else:
                 self.colored_nodes.add(n)
                 self.color[n] = chosen
+                if tr.enabled:
+                    tr.emit(EventKind.ASSIGN, temp=n, reg=chosen,
+                            detail=f"color (round {self.rounds})")
 
     def _rewrite_spills(self) -> None:
         spilled = set(self.spilled_nodes)
+        tr = self.stats.trace
         for block in self.fn.blocks:
+            if tr.enabled:
+                tr.set_location(block=block.label)
             rewritten: list[Instr] = []
             for instr in block.instrs:
                 pre: list[Instr] = []
@@ -388,6 +399,10 @@ class _ClassColoring:
                                              slot=self.slots.home(use),
                                              spill_phase=SpillPhase.EVICT))
                             self.stats.bump_spill(SpillPhase.EVICT, "load")
+                            if tr.enabled:
+                                tr.emit(EventKind.SECOND_CHANCE_RELOAD,
+                                        temp=use,
+                                        detail=f"coloring reload via {t}")
                         instr.uses[i] = t
                 for i, dst in enumerate(instr.defs):
                     if dst in spilled:
@@ -397,6 +412,9 @@ class _ClassColoring:
                                           slot=self.slots.home(dst),
                                           spill_phase=SpillPhase.EVICT))
                         self.stats.bump_spill(SpillPhase.EVICT, "store")
+                        if tr.enabled:
+                            tr.emit(EventKind.SPILL_STORE_EMITTED, temp=dst,
+                                    detail=f"coloring store via {t}")
                         instr.defs[i] = t
                 rewritten.extend(pre)
                 rewritten.append(instr)
@@ -430,8 +448,11 @@ class GraphColoring(RegisterAllocator):
         edges = 0
         for regclass in (RegClass.GPR, RegClass.FPR):
             coloring = _ClassColoring(fn, machine, shared, regclass, slots, stats)
-            coloring.run()
+            with stats.profiler.phase(f"allocate.color.{regclass.name.lower()}"):
+                coloring.run()
             rounds += coloring.rounds
             edges += coloring.total_edges
         stats.coloring_iterations[fn.name] = rounds
         stats.interference_edges[fn.name] = edges
+        stats.metrics.bump("coloring.rounds", rounds)
+        stats.metrics.bump("coloring.interference_edges", edges)

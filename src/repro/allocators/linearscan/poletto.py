@@ -50,6 +50,7 @@ class PolettoLinearScan(RegisterAllocator):
                           stats: AllocationStats) -> None:
         table = shared.lifetimes
         forced_memory: set[Temp] = set()
+        restarts = 0
         while True:
             assignment = self._scan_intervals(table, machine, forced_memory)
             scratch, victim = self._assign_scratches(table, machine,
@@ -57,6 +58,9 @@ class PolettoLinearScan(RegisterAllocator):
             if victim is None:
                 break
             forced_memory.add(victim)
+            restarts += 1
+        stats.metrics.bump("linearscan.restarts", restarts)
+        stats.metrics.bump("linearscan.memory_resident", len(forced_memory))
         rewrite_whole_lifetime(fn, slots, stats, assignment, scratch)
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.allocators.base import AllocationStats, SpillSlots
 from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
+from repro.obs.trace import EventKind
 
 
 def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
@@ -26,7 +27,14 @@ def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
     every other temporary is memory-resident and must have a ``scratch``
     register recorded for each instruction that references it.
     """
+    tr = stats.trace
+    if tr.enabled:
+        for temp, reg in assignment.items():
+            tr.emit(EventKind.ASSIGN, temp=temp, reg=reg,
+                    detail="whole lifetime")
     for block in fn.blocks:
+        if tr.enabled:
+            tr.set_location(block=block.label)
         rewritten: list[Instr] = []
         for instr in block.instrs:
             pre: list[Instr] = []
@@ -43,6 +51,9 @@ def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
                                          slot=slots.home(use),
                                          spill_phase=SpillPhase.EVICT))
                         stats.bump_spill(SpillPhase.EVICT, "load")
+                        if tr.enabled:
+                            tr.emit(EventKind.SECOND_CHANCE_RELOAD, temp=use,
+                                    reg=reg, detail="scratch reload")
                         loaded.add(use)
                 instr.uses[i] = reg
             for i, dst in enumerate(instr.defs):
@@ -55,6 +66,9 @@ def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
                                       slot=slots.home(dst),
                                       spill_phase=SpillPhase.EVICT))
                     stats.bump_spill(SpillPhase.EVICT, "store")
+                    if tr.enabled:
+                        tr.emit(EventKind.SPILL_STORE_EMITTED, temp=dst,
+                                reg=reg, detail="scratch store")
                 instr.defs[i] = reg
             rewritten.extend(pre)
             rewritten.append(instr)

@@ -14,6 +14,9 @@ from dataclasses import dataclass
 
 from repro.allocators.base import AllocationStats, RegisterAllocator, allocate_module
 from repro.ir.module import Module
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import PhaseProfiler
+from repro.obs.trace import Tracer
 from repro.passes.dce import eliminate_dead_code_module
 from repro.passes.peephole import remove_redundant_moves_module
 from repro.passes.verify_alloc import verify_allocation_module
@@ -22,7 +25,13 @@ from repro.target.machine import MachineDescription
 
 @dataclass(eq=False)
 class PipelineResult:
-    """An allocated module plus everything the evaluation reports on it."""
+    """An allocated module plus everything the evaluation reports on it.
+
+    The run's observability objects ride on ``stats``: ``stats.trace``
+    (event tracer), ``stats.profiler`` (per-phase wall clock covering the
+    whole pipeline, not just allocation), ``stats.metrics`` (the counters
+    every layer published into).
+    """
 
     module: Module
     stats: AllocationStats
@@ -34,22 +43,41 @@ class PipelineResult:
 def run_allocator(module: Module, allocator: RegisterAllocator,
                   machine: MachineDescription, *, dce: bool = True,
                   peephole: bool = True, spill_cleanup: bool = False,
-                  verify: bool = True) -> PipelineResult:
+                  verify: bool = True, trace: Tracer | None = None,
+                  profiler: PhaseProfiler | None = None,
+                  metrics: MetricsRegistry | None = None) -> PipelineResult:
     """Copy ``module``, run DCE → allocation → peephole, verify, report.
 
     ``spill_cleanup`` additionally runs the post-allocation spill-code
     cleanup the paper sketches as future work (store-to-load forwarding
     and dead spill-store elimination) — off by default so measurements
     reflect the paper's pipeline, on for the extension ablation.
+
+    ``trace``/``profiler``/``metrics`` plug observability into every
+    stage (see :mod:`repro.obs`); defaults are no-op/fresh objects,
+    reachable afterwards through the returned ``stats``.
     """
     from repro.passes.spillopt import SpillCleanupStats, cleanup_spill_code_module
 
+    prof = profiler or PhaseProfiler()
     working = copy.deepcopy(module)
-    dce_removed = eliminate_dead_code_module(working) if dce else 0
-    stats = allocate_module(working, allocator.fresh(), machine)
-    cleanup = (cleanup_spill_code_module(working) if spill_cleanup
-               else SpillCleanupStats())
-    moves_removed = remove_redundant_moves_module(working) if peephole else 0
+    with prof.phase("pipeline.dce"):
+        dce_removed = eliminate_dead_code_module(working) if dce else 0
+    stats = allocate_module(working, allocator.fresh(), machine,
+                            trace=trace, profiler=prof, metrics=metrics)
+    with prof.phase("pipeline.spill_cleanup"):
+        cleanup = (cleanup_spill_code_module(working) if spill_cleanup
+                   else SpillCleanupStats())
+    with prof.phase("pipeline.peephole"):
+        moves_removed = remove_redundant_moves_module(working) if peephole else 0
     if verify:
-        verify_allocation_module(working, machine)
+        with prof.phase("pipeline.verify"):
+            verify_allocation_module(working, machine)
+    stats.metrics.bump("pipeline.dce.removed", dce_removed)
+    stats.metrics.bump("pipeline.peephole.moves_removed", moves_removed)
+    if spill_cleanup:
+        stats.metrics.bump("pipeline.spill_cleanup.stores_removed",
+                           cleanup.stores_removed)
+        stats.metrics.bump("pipeline.spill_cleanup.loads_forwarded",
+                           cleanup.loads_forwarded)
     return PipelineResult(working, stats, dce_removed, moves_removed, cleanup)

@@ -96,6 +96,20 @@ class SimOutcome:
             return 0.0
         return self.spill_instructions / self.dynamic_instructions
 
+    def publish(self, metrics) -> None:
+        """Publish this run's dynamic counts into a
+        :class:`~repro.obs.metrics.MetricsRegistry` under ``sim.*`` keys.
+        Kept out of the execution loop so simulation speed is untouched
+        when nobody asks for metrics."""
+        metrics.bump("sim.dynamic.instructions", self.dynamic_instructions)
+        metrics.bump("sim.dynamic.cycles", self.cycles)
+        metrics.bump("sim.dynamic.spill_instructions", self.spill_instructions)
+        for op, count in self.op_counts.items():
+            metrics.bump(f"sim.op.{op.name.lower()}", count)
+        for (phase, kind), count in self.spill_counts.items():
+            metrics.bump(f"sim.spill.{phase.value}.{kind.name.lower()}",
+                         count)
+
 
 class _Frame:
     """Per-activation state: temporaries, stack slots, saved callee-saves."""
@@ -413,9 +427,17 @@ def outputs_equal(a: list[int | float] | None, b: list[int | float] | None) -> b
 def simulate(module: Module, machine: MachineDescription, *,
              entry: str = "main", max_steps: int = 50_000_000,
              poison_calls: bool = True,
-             check_callee_saved: bool = True) -> SimOutcome:
-    """Run ``module`` from ``entry`` and return the :class:`SimOutcome`."""
+             check_callee_saved: bool = True,
+             metrics=None) -> SimOutcome:
+    """Run ``module`` from ``entry`` and return the :class:`SimOutcome`.
+
+    With a ``metrics`` registry, the outcome's dynamic counts are
+    published under ``sim.*`` after the run (see :meth:`SimOutcome.publish`).
+    """
     sim = Simulator(module, machine, max_steps=max_steps,
                     poison_calls=poison_calls,
                     check_callee_saved=check_callee_saved)
-    return sim.run(entry)
+    outcome = sim.run(entry)
+    if metrics is not None:
+        outcome.publish(metrics)
+    return outcome

@@ -7,12 +7,34 @@ layout; this keeps the formatting in one place.
 from __future__ import annotations
 
 
+def _is_numeric_text(text: str) -> bool:
+    """Whether a rendered cell reads as a number: int/float literals,
+    optionally with thousands separators or a trailing ``%``/unit suffix
+    like ``ms``/``s`` (the harness prints ``12.3%`` and ``4.5 ms``)."""
+    stripped = text.strip().replace(",", "")
+    for suffix in ("%", "ms", "s", "x"):
+        if stripped.endswith(suffix):
+            stripped = stripped[:-len(suffix)].strip()
+            break
+    if not stripped:
+        return False
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False
+
+
 def format_table(headers: list[str], rows: list[list[object]],
                  title: str | None = None) -> str:
     """Render an aligned plain-text table.
 
     Numbers are right-aligned; floats are shown with sensible precision
-    (3 decimals for ratios < 10, otherwise 1).
+    (3 decimals for ratios < 10, otherwise 1).  A column counts as
+    numeric when *every* non-empty cell in it is numeric (int/float, or
+    text that parses as a number, ``%``/unit suffixes allowed) — not
+    when cells merely start with a digit, so names like ``2nd-chance``
+    left-align while mixed empty/number columns still right-align.
     """
     def render(cell: object) -> str:
         if isinstance(cell, float):
@@ -25,13 +47,17 @@ def format_table(headers: list[str], rows: list[list[object]],
     widths = [max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered
               else len(headers[i]) for i in range(len(headers))]
 
+    def column_numeric(i: int) -> bool:
+        non_empty = [r[i] for r in rendered if r[i].strip()]
+        return bool(non_empty) and all(_is_numeric_text(c) for c in non_empty)
+
+    numeric_cols = [column_numeric(i) for i in range(len(headers))]
+
     def line(cells: list[str]) -> str:
         parts = []
         for i, cell in enumerate(cells):
-            numeric = rendered and all(
-                r[i] and (r[i][0].isdigit() or r[i][0] in "-+.")
-                for r in rendered)
-            parts.append(cell.rjust(widths[i]) if numeric else cell.ljust(widths[i]))
+            parts.append(cell.rjust(widths[i]) if numeric_cols[i]
+                         else cell.ljust(widths[i]))
         return "  ".join(parts).rstrip()
 
     out = []

@@ -1,0 +1,31 @@
+"""The paper's target: an Alpha-like machine (Section 3.1).
+
+The evaluation machine is a DEC Alpha 21164: 32 integer and 32 floating-
+point registers, six parameter registers per file, results returned in
+register 0 of each file, and no stack arguments in our subset.  The
+description below keeps those dimensions (they are what the paper's
+register-pressure numbers depend on) with a simplified layout:
+
+* ``r0``/``f0`` — return value (caller-saved);
+* ``r1``–``r6`` / ``f1``–``f6`` — parameter registers (caller-saved);
+* ``r7``–``r21`` / ``f7``–``f21`` — caller-saved temporaries;
+* ``r22``–``r31`` / ``f22``–``f31`` — callee-saved (ten per file,
+  standing in for the OSF/1 convention's saved set).
+"""
+
+from __future__ import annotations
+
+from repro.target.machine import MachineDescription
+
+_N = 32
+_PARAMS = tuple(range(1, 7))
+_CALLEE_SAVED = tuple(range(22, 32))
+
+
+def alpha() -> MachineDescription:
+    """The Alpha-like evaluation target (32 + 32 registers)."""
+    return MachineDescription(
+        "alpha", _N, _N,
+        gpr_params=_PARAMS, fpr_params=_PARAMS,
+        gpr_callee_saved=_CALLEE_SAVED, fpr_callee_saved=_CALLEE_SAVED,
+        gpr_ret=0, fpr_ret=0)

@@ -140,3 +140,28 @@ class TestFormatTable:
     def test_empty_rows(self):
         text = format_table(["a"], [])
         assert "a" in text
+
+    def test_numeric_column_detection_is_per_column(self):
+        """A column is numeric only when *every* non-empty cell is — a
+        digit-leading name like ``2nd-chance`` must not drag its column
+        into right-alignment, while %/unit-suffixed numbers still count."""
+        text = format_table(
+            ["allocator", "spill%", "time"],
+            [["2nd-chance", "3.20%", "1.5 ms"],
+             ["coloring-x", "11.00%", "12.0 ms"]])
+        lines = text.splitlines()
+        # Column 1: left-aligned despite the leading digit.
+        assert lines[2].startswith("2nd-chance")
+        # Columns 2/3: right-aligned numbers (narrow cells padded left).
+        assert "  3.20%" in lines[2]
+        assert " 1.5 ms" in lines[2]
+
+    def test_mixed_text_and_numbers_left_aligns(self):
+        text = format_table(["k", "v"], [["a", 1], ["b", "n/a"]])
+        # "n/a" makes the value column non-numeric -> left-aligned.
+        assert text.splitlines()[2].startswith("a  1")
+
+    def test_empty_cells_do_not_veto_numeric(self):
+        text = format_table(["k", "v"], [["a", 7], ["b", ""], ["c", 123]])
+        lines = text.splitlines()
+        assert lines[2].startswith("a    7")  # right-aligned to width 3

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Validate a JSONL allocation trace against the wire schema.
+
+Hand-rolled on purpose — the repo takes no dependency on a JSON-Schema
+library.  Checks, per line: it parses as a JSON object; exactly the
+seven schema keys are present; ``kind`` is a known event name; ``fn`` is
+a non-empty string; ``block``/``temp``/``reg``/``detail`` are strings or
+null; ``point`` is a non-negative int or null.  Then cross-checks the
+whole file: replaying it through ``read_jsonl_trace`` yields the same
+number of events as there are lines.
+
+Usage::
+
+    PYTHONPATH=src python tools/validate_trace.py trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs import EventKind, read_jsonl_trace
+
+SCHEMA_KEYS = {"kind", "fn", "block", "point", "temp", "reg", "detail"}
+KINDS = {kind.value for kind in EventKind}
+
+
+def validate_line(line_no: int, line: str) -> list[str]:
+    errors = []
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        return [f"line {line_no}: not JSON ({exc})"]
+    if not isinstance(obj, dict):
+        return [f"line {line_no}: not a JSON object"]
+    if set(obj) != SCHEMA_KEYS:
+        errors.append(f"line {line_no}: keys {sorted(obj)} != schema keys "
+                      f"{sorted(SCHEMA_KEYS)}")
+    if obj.get("kind") not in KINDS:
+        errors.append(f"line {line_no}: unknown kind {obj.get('kind')!r}")
+    if not (isinstance(obj.get("fn"), str) and obj["fn"]):
+        errors.append(f"line {line_no}: fn must be a non-empty string")
+    for key in ("block", "temp", "reg", "detail"):
+        value = obj.get(key)
+        if value is not None and not isinstance(value, str):
+            errors.append(f"line {line_no}: {key} must be string or null")
+    point = obj.get("point")
+    if point is not None and not (isinstance(point, int)
+                                  and not isinstance(point, bool)
+                                  and point >= 0):
+        errors.append(f"line {line_no}: point must be a non-negative int "
+                      f"or null")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    path = argv[1]
+    with open(path) as handle:
+        lines = [line for line in handle if line.strip()]
+    errors: list[str] = []
+    for i, line in enumerate(lines, start=1):
+        errors.extend(validate_line(i, line))
+    if not errors:
+        replayed = sum(1 for _ in read_jsonl_trace(lines))
+        if replayed != len(lines):
+            errors.append(f"replay yielded {replayed} events for "
+                          f"{len(lines)} lines")
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    print(f"{path}: OK ({len(lines)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
