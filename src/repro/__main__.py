@@ -213,6 +213,46 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import CONFIG_GRID, fuzz
+
+    configs = CONFIG_GRID
+    if args.config:
+        by_name = {c.name: c for c in CONFIG_GRID}
+        unknown = [name for name in args.config if name not in by_name]
+        if unknown:
+            raise SystemExit(f"unknown config(s) {', '.join(unknown)}; "
+                             f"choose from {', '.join(sorted(by_name))}")
+        configs = tuple(by_name[name] for name in args.config)
+
+    seeds = range(args.start, args.start + args.seeds)
+
+    def progress(seed, report):
+        if args.verbose:
+            print(f"  seed {seed}: {report.checks} checks, "
+                  f"{len(report.divergences)} divergence(s)", file=sys.stderr)
+
+    report = fuzz(seeds, configs=configs, shrink=not args.no_shrink,
+                  shrink_budget=args.shrink_budget,
+                  progress=progress if args.verbose else None)
+    print(report.format())
+    if not report.ok and args.out:
+        # One parseable witness: the first divergence's module, with the
+        # attribution as ;;-comments (the IR comment marker), so the file
+        # feeds straight into tools/shrink_ir.py.
+        div = report.divergences[0]
+        header = [f"{div.kind} config={div.config} {div.describe}",
+                  *div.message.splitlines()]
+        with open(args.out, "w") as fh:
+            for line in header:
+                fh.write(f";; {line}\n")
+            fh.write(f"{div.module_text}\n")
+        print(f"# shrunken repro written to {args.out} "
+              f"(first of {len(report.divergences)} divergence(s))",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -269,6 +309,27 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.add_argument("file")
     common(profile_p)
     profile_p.set_defaults(func=cmd_profile)
+
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential-fuzz every allocator against the "
+                     "simulator oracle (exit 1 on any divergence)")
+    fuzz_p.add_argument("--seeds", type=int, default=50, metavar="N",
+                        help="number of seeds to run (default: 50)")
+    fuzz_p.add_argument("--start", type=int, default=0, metavar="SEED",
+                        help="first seed (default: 0)")
+    fuzz_p.add_argument("--config", action="append", metavar="NAME",
+                        help="restrict to named config(s); repeatable")
+    fuzz_p.add_argument("--no-shrink", action="store_true",
+                        help="report failing modules without minimizing")
+    fuzz_p.add_argument("--shrink-budget", type=int, default=400,
+                        metavar="N",
+                        help="max candidate evaluations per shrink "
+                             "(default: 400)")
+    fuzz_p.add_argument("--out", metavar="FILE",
+                        help="also write shrunken repro IR to FILE")
+    fuzz_p.add_argument("--verbose", action="store_true",
+                        help="per-seed progress on stderr")
+    fuzz_p.set_defaults(func=cmd_fuzz)
     return parser
 
 

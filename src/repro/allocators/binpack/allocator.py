@@ -220,6 +220,11 @@ class SecondChanceBinpacking(RegisterAllocator):
         Fresh callee-saved registers are not eligible: converting one
         eviction store into a move is a bad trade when it drags a new
         prologue save/restore pair into every activation of the function.
+
+        Determinism: ``machine.regs`` is in register-index order and the
+        first eligible register wins, so among equally-good candidates the
+        lowest index is always chosen — allocations never depend on hash
+        order or Python version.
         """
         machine = table.machine
         remaining = self._remaining_ranges(table, temp, point)
@@ -243,13 +248,19 @@ class SecondChanceBinpacking(RegisterAllocator):
                        slots: SpillSlots, stats: AllocationStats, temp: Temp,
                        point: int, locked: set[PhysReg],
                        pre: list[Instr]) -> PhysReg:
-        """Choose (and if necessary free up) a register for ``temp``."""
+        """Choose (and if necessary free up) a register for ``temp``.
+
+        Ties are broken explicitly on the register index (the lexicographic
+        ``(hole size, index)`` keys below), so the same input always yields
+        the same allocation — and therefore the same benchmark numbers —
+        across runs, hash seeds, and Python versions.
+        """
         machine = table.machine
         remaining = self._remaining_ranges(table, temp, point)
         best_fit: PhysReg | None = None
-        best_fit_end = _INF + 1
+        best_fit_key = (_INF + 1, -1)  # (hole end, register index), minimized
         largest: PhysReg | None = None
-        largest_end = point
+        largest_key = (-point, -1)  # (-hole end, register index), minimized
         for reg in machine.regs(temp.regclass):
             if reg in locked:
                 continue
@@ -265,14 +276,17 @@ class SecondChanceBinpacking(RegisterAllocator):
             if not table.reserved_for(reg).overlaps(remaining):
                 # Sufficient: the register is free over every point where
                 # the temporary is live (holes included) — best fit keeps
-                # the smallest such hole (Section 2.2).
-                if hole_end < best_fit_end:
-                    best_fit, best_fit_end = reg, hole_end
-            elif hole_end > largest_end:
+                # the smallest such hole (Section 2.2), lowest index on ties.
+                key = (hole_end, reg.index)
+                if key < best_fit_key:
+                    best_fit, best_fit_key = reg, key
+            else:
                 # Insufficient only because of a reservation: usable, the
                 # reservation-expiry events will evict (Section 2.5's
-                # "largest insufficiently-large hole").
-                largest, largest_end = reg, hole_end
+                # "largest insufficiently-large hole"), lowest index on ties.
+                key = (-hole_end, reg.index)
+                if key < largest_key:
+                    largest, largest_key = reg, key
         chosen = best_fit if best_fit is not None else largest
         if chosen is None:
             chosen = self._evict_lowest_priority(
@@ -289,10 +303,16 @@ class SecondChanceBinpacking(RegisterAllocator):
                                slots: SpillSlots, stats: AllocationStats,
                                temp: Temp, point: int, locked: set[PhysReg],
                                pre: list[Instr]) -> PhysReg:
-        """No free hole: evict the lowest-priority live occupant."""
+        """No free hole: evict the lowest-priority live occupant.
+
+        The victim search scans registers in index order and keeps the
+        explicit minimum of ``(priority, register index)``, so equal
+        priorities always evict from the lowest-indexed register —
+        deterministic across runs and Python versions.
+        """
         victim_reg: PhysReg | None = None
         victim: Temp | None = None
-        worst = float("inf")
+        worst = (float("inf"), -1)  # (priority, register index), minimized
         for reg in table.machine.regs(temp.regclass):
             if reg in locked or table.reserved_for(reg).covers(point):
                 continue
@@ -309,8 +329,9 @@ class SecondChanceBinpacking(RegisterAllocator):
                 # packing is disabled): evicting it is free.
                 candidate = blocking[0]
                 priority = -1.0
-            if priority < worst:
-                worst, victim, victim_reg = priority, candidate, reg
+            key = (priority, reg.index)
+            if key < worst:
+                worst, victim, victim_reg = key, candidate, reg
         if victim_reg is None:
             raise AllocationError(
                 f"no register of class {temp.regclass.name} available for "
@@ -425,8 +446,9 @@ class SecondChanceBinpacking(RegisterAllocator):
         current instruction window ``[use_point, use_point + 2)``."""
         window_end = use_point + 2
         # Snapshot: an early-second-chance move inside _evict may add a
-        # fresh register key to the occupancy map.
-        for reg, claim in list(state.occupants.items()):
+        # fresh register key to the occupancy map.  Sorted so eviction
+        # order is a function of the code, not of occupancy-map history.
+        for reg, claim in sorted(state.occupants.items()):
             if not claim:
                 continue
             if not table.reserved_for(reg).overlaps_interval(use_point, window_end):

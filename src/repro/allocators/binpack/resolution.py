@@ -42,9 +42,10 @@ contribute gen bits too (computed in a pre-pass before the dataflow).
 from __future__ import annotations
 
 from repro.allocators.base import AllocationStats, SharedAnalyses, SpillSlots
-from repro.allocators.binpack.state import MEM, Location, ScanState
+from repro.allocators.binpack.state import MEM, BlockRecord, Location, ScanState
 from repro.cfg.cfg import split_edge
 from repro.dataflow.framework import DataflowProblem, Direction, solve
+from repro.dataflow.liveness import LivenessInfo
 from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
@@ -107,9 +108,32 @@ def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
     return out
 
 
+def edge_traffic(records: dict[str, BlockRecord], liveness: LivenessInfo,
+                 pred: str, succ: str) -> list[tuple[Temp, Location, Location]]:
+    """The location pair of every temporary carried across ``pred -> succ``.
+
+    A temporary live into ``succ`` can be absent from a boundary record:
+    the scan only records temporaries it actually saw at that boundary,
+    and a conservatively-live temporary (e.g. one whose defs all sit on
+    other paths, kept live by the path-insensitive dataflow) never gets an
+    entry.  A temporary the scan never placed holds no register at that
+    boundary, so its location defaults to its memory home rather than
+    raising ``KeyError``.
+    """
+    bottom = records[pred].bottom_loc
+    top = records[succ].top_loc
+    return [(temp, bottom.get(temp, MEM), top.get(temp, MEM))
+            for temp in liveness.live_in_temps(succ)]
+
+
 def _place_batch(fn: Function, shared: SharedAnalyses, pred: str, succ: str,
-                 batch: list[Instr]) -> None:
-    """Put the edge's repair code where the paper's footnote says."""
+                 batch: list[Instr],
+                 bottom_written: dict[str, set[PhysReg]]) -> None:
+    """Put the edge's repair code where the paper's footnote says.
+
+    ``bottom_written`` accumulates, per block, the registers written by
+    batches already placed at that block's bottom this resolution round.
+    """
     cfg = shared.cfg
     # The entry block has an implicit predecessor (function entry), so
     # edge code may never be hoisted to its top.
@@ -120,8 +144,20 @@ def _place_batch(fn: Function, shared: SharedAnalyses, pred: str, succ: str,
         block = fn.block(pred)
         term = block.terminator
         written = {reg for instr in batch for reg in instr.defs}
-        if not any(use in written for use in term.uses):
+        read = {reg for instr in batch for reg in instr.uses}
+        # Code placed at a block bottom sits *before* the terminator, so
+        # three hazards force a split instead: the terminator reads a
+        # register the batch writes, the terminator defines a register the
+        # batch reads (the batch would see the not-yet-written value), or
+        # an earlier batch at this bottom already wrote a register this
+        # batch touches (the stacked batches would observe each other).
+        prior = bottom_written.get(pred, frozenset())
+        hazard = (any(use in written for use in term.uses)
+                  or any(d in read for d in term.defs)
+                  or bool(prior & (written | read)))
+        if not hazard:
             block.insert_before_terminator(batch)
+            bottom_written.setdefault(pred, set()).update(written)
             return
     new_block = split_edge(fn, cfg, pred, succ)
     new_block.insert_at_top(batch)
@@ -139,20 +175,12 @@ def resolve_edges(fn: Function, machine: MachineDescription,
     records = state.records
     edges = cfg.edges()
 
-    def edge_traffic(pred: str, succ: str) -> list[tuple[Temp, Location, Location]]:
-        traffic = []
-        bottom = records[pred].bottom_loc
-        top = records[succ].top_loc
-        for temp in liveness.live_in_temps(succ):
-            traffic.append((temp, bottom[temp], top[temp]))
-        return traffic
-
     # Pre-pass: gen bits contributed by stores we will elide *at edges*.
     extra_gen: dict[str, int] = {label: 0 for label in records}
     if run_dataflow:
         for pred, succ in edges:
             record = records[pred]
-            for temp, src, dst in edge_traffic(pred, succ):
+            for temp, src, dst in edge_traffic(records, liveness, pred, succ):
                 if src is MEM or dst is not MEM:
                     continue
                 bit = index.bit_or_none(temp)
@@ -174,6 +202,7 @@ def resolve_edges(fn: Function, machine: MachineDescription,
             used_c_in = result.in_
             iterations = result.iterations
 
+    bottom_written: dict[str, set[PhysReg]] = {}
     with stats.profiler.phase("allocate.resolve.patch"):
         for pred, succ in edges:
             record = records[pred]
@@ -183,7 +212,7 @@ def resolve_edges(fn: Function, machine: MachineDescription,
             stores: list[Instr] = []
             moves: list[tuple[PhysReg, PhysReg, Temp]] = []
             loads: list[Instr] = []
-            for temp, src, dst in edge_traffic(pred, succ):
+            for temp, src, dst in edge_traffic(records, liveness, pred, succ):
                 if isinstance(src, PhysReg):
                     bit = index.bit_or_none(temp)
                     consistent = (bit is not None
@@ -224,5 +253,5 @@ def resolve_edges(fn: Function, machine: MachineDescription,
             batch = stores + sequentialize_moves(moves, slots, stats) + loads
             stats.metrics.bump("binpack.resolution.edges_patched")
             stats.metrics.bump("binpack.resolution.instructions", len(batch))
-            _place_batch(fn, shared, pred, succ, batch)
+            _place_batch(fn, shared, pred, succ, batch, bottom_written)
     return iterations

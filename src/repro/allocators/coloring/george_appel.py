@@ -199,8 +199,12 @@ class _ClassColoring:
                 if instr.is_call:
                     clobbers.extend(caller_saved)
                 live.update(clobbers)
+                # ``live`` is a plain set; edge insertion order decides
+                # adjacency-list order, so iterate it by graph index to
+                # keep the coloring independent of hash randomization.
+                node_index = self.graph.index
                 for d in clobbers:
-                    for l in live:
+                    for l in sorted(live, key=node_index.__getitem__):
                         self.graph.add_edge(l, d)
                 live.difference_update(clobbers)
                 live.update(uses)

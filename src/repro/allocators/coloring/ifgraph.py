@@ -63,7 +63,10 @@ class InterferenceGraph:
         nodes: All nodes, precolored registers first (their indices are
             stable across queries).
         matrix: The triangular bit matrix over node indices.
-        adj_list: Neighbour sets for non-precolored nodes only.
+        adj_list: Neighbours of each non-precolored node, as an
+            insertion-ordered dict keyed by neighbour — iteration order
+            must not depend on hash randomization, or worklist order (and
+            therefore coloring decisions) would vary run to run.
         degree: Current degree per node (precolored: a huge constant).
     """
 
@@ -75,7 +78,7 @@ class InterferenceGraph:
         self.index: dict[Node, int] = {n: i for i, n in enumerate(self.nodes)}
         self.precolored: set[Node] = set(precolored)
         self.matrix = TriangularBitMatrix(len(self.nodes))
-        self.adj_list: dict[Node, set[Node]] = {t: set() for t in temps}
+        self.adj_list: dict[Node, dict[Node, None]] = {t: {} for t in temps}
         self.degree: dict[Node, int] = {t: 0 for t in temps}
         for reg in precolored:
             self.degree[reg] = self.INFINITE
@@ -89,10 +92,10 @@ class InterferenceGraph:
             return
         self.matrix.set(i, j)
         if u not in self.precolored:
-            self.adj_list[u].add(v)
+            self.adj_list[u][v] = None
             self.degree[u] += 1
         if v not in self.precolored:
-            self.adj_list[v].add(u)
+            self.adj_list[v][u] = None
             self.degree[v] += 1
 
     def interferes(self, u: Node, v: Node) -> bool:

@@ -1,0 +1,33 @@
+"""Differential fuzzing of the register allocators.
+
+The fuzzer closes the loop the paper leaves open: Section 2.3–2.4's
+elided/postponed spill stores are correct only if the consistency
+dataflow and edge resolution are *exactly* right, and hand-written tests
+only cover the shapes their author thought of.  Here, random structured
+programs (:mod:`repro.fuzz.generate`) run through every allocator × every
+``BinpackOptions`` ablation point (:mod:`repro.fuzz.harness`), with the
+simulator on the *unallocated* module as the oracle and the dataflow
+verifier (:func:`repro.passes.verify_alloc.verify_dataflow`) catching
+clobbers statically.  Failures are minimized by a delta-debugging
+shrinker (:mod:`repro.fuzz.shrink`) before being reported.
+
+Entry points: ``repro fuzz`` on the command line, or :func:`fuzz` /
+:func:`run_seed` from Python.
+"""
+
+from repro.fuzz.generate import program_for_seed
+from repro.fuzz.harness import (CONFIG_GRID, Divergence, FuzzConfig,
+                                FuzzReport, check_config, fuzz, run_seed)
+from repro.fuzz.shrink import shrink_module
+
+__all__ = [
+    "CONFIG_GRID",
+    "Divergence",
+    "FuzzConfig",
+    "FuzzReport",
+    "check_config",
+    "fuzz",
+    "program_for_seed",
+    "run_seed",
+    "shrink_module",
+]

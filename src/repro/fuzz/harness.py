@@ -1,0 +1,242 @@
+"""The differential fuzz harness: configs × seeds → divergences.
+
+One *check* runs one generated program through one allocator
+configuration and compares against the oracle:
+
+    reference = simulate(unallocated module)        # the oracle
+    allocated = pipeline(module, config)            # DCE → allocate →
+                                                    #   dataflow-verify →
+                                                    #   peephole → verify
+    simulate(allocated, trap_poison=True) must match the reference.
+
+Five distinct failure kinds are reported (``crash``, ``verify``,
+``dataflow``, ``sim-fault``, ``mismatch``) because they point at
+different layers; :class:`repro.allocators.base.AllocationError` is a
+*skip*, not a failure — a tiny machine may be legitimately too small for
+a generated function's register demands.
+
+The configuration grid covers all four allocators plus every
+``BinpackOptions`` ablation point the paper's Section 2 calls out, since
+the bugs the fuzzer exists to catch (consistency dataflow, edge
+resolution, second-chance paths) hide behind specific knob combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.allocators import (GraphColoring, PolettoLinearScan,
+                              SecondChanceBinpacking, TwoPassBinpacking)
+from repro.allocators.base import AllocationError, RegisterAllocator
+from repro.allocators.binpack.allocator import BinpackOptions
+from repro.fuzz.generate import GeneratedProgram, program_for_seed
+from repro.fuzz.shrink import reference_outcome, shrink_module
+from repro.ir.module import Module
+from repro.ir.printer import print_module
+from repro.passes.verify_alloc import AllocationVerifyError
+from repro.pipeline import run_allocator
+from repro.sim import SimulationError, outputs_equal, simulate
+from repro.target.machine import MachineDescription
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """One point of the allocator × options grid."""
+
+    name: str
+    allocator: str  # "second-chance" | "two-pass" | "coloring" | "poletto"
+    options: BinpackOptions | None = None
+
+    def make(self) -> RegisterAllocator:
+        if self.allocator == "second-chance":
+            return SecondChanceBinpacking(self.options or BinpackOptions())
+        if self.allocator == "two-pass":
+            return TwoPassBinpacking()
+        if self.allocator == "coloring":
+            return GraphColoring()
+        if self.allocator == "poletto":
+            return PolettoLinearScan()
+        raise ValueError(f"unknown allocator {self.allocator!r}")
+
+
+CONFIG_GRID: tuple[FuzzConfig, ...] = (
+    FuzzConfig("sc-default", "second-chance"),
+    FuzzConfig("sc-no-holes", "second-chance",
+               BinpackOptions(use_holes=False)),
+    FuzzConfig("sc-no-early2c", "second-chance",
+               BinpackOptions(early_second_chance=False)),
+    FuzzConfig("sc-no-moveelim", "second-chance",
+               BinpackOptions(move_elimination=False)),
+    FuzzConfig("sc-no-avoid-stores", "second-chance",
+               BinpackOptions(avoid_consistent_stores=False)),
+    FuzzConfig("sc-conservative", "second-chance",
+               BinpackOptions(conservative_consistency=True)),
+    FuzzConfig("sc-no-holes-conservative", "second-chance",
+               BinpackOptions(use_holes=False, conservative_consistency=True)),
+    FuzzConfig("sc-minimal", "second-chance",
+               BinpackOptions(use_holes=False, early_second_chance=False,
+                              move_elimination=False,
+                              avoid_consistent_stores=False)),
+    FuzzConfig("two-pass", "two-pass"),
+    FuzzConfig("coloring", "coloring"),
+    FuzzConfig("poletto", "poletto"),
+)
+
+
+@dataclass
+class Divergence:
+    """One confirmed oracle divergence, with its (shrunken) witness."""
+
+    seed: int
+    config: str
+    kind: str  # "crash" | "verify" | "dataflow" | "sim-fault" | "mismatch"
+    message: str
+    describe: str
+    module_text: str  # IR text of the (shrunken) failing module
+    shrunk_from: int  # instruction count before shrinking
+    shrunk_to: int
+
+    def format(self) -> str:
+        return (f"[{self.kind}] config={self.config} {self.describe}\n"
+                f"  {self.message}\n"
+                f"  witness shrunk {self.shrunk_from} -> {self.shrunk_to} "
+                f"instructions:\n{self.module_text}")
+
+
+def _result_matches(a: int | float | None, b: int | float | None) -> bool:
+    return outputs_equal([] if a is None else [a], [] if b is None else [b])
+
+
+def check_config(module: Module, machine: MachineDescription,
+                 config: FuzzConfig, ref) -> tuple[str, str] | None:
+    """Run one configuration; ``None`` when it matches the oracle.
+
+    Returns ``("skip", reason)`` when the machine is legitimately too
+    small, otherwise ``(kind, message)`` describing the divergence.
+    ``ref`` is the oracle outcome for the unallocated ``module``.
+    """
+    try:
+        result = run_allocator(module, config.make(), machine,
+                               verify_dataflow=True)
+    except AllocationError as exc:
+        return ("skip", str(exc))
+    except AllocationVerifyError as exc:
+        return ("dataflow" if "dataflow" in str(exc) else "verify", str(exc))
+    except Exception as exc:  # noqa: BLE001 — any crash is a finding
+        return ("crash", f"{type(exc).__name__}: {exc}")
+    try:
+        out = simulate(result.module, machine, trap_poison=True,
+                       max_steps=ref.dynamic_instructions * 8 + 100_000)
+    except SimulationError as exc:
+        return ("sim-fault", str(exc))
+    if not outputs_equal(ref.output, out.output):
+        return ("mismatch",
+                f"output {out.output!r} != reference {ref.output!r}")
+    if not _result_matches(ref.result, out.result):
+        return ("mismatch",
+                f"result {out.result!r} != reference {ref.result!r}")
+    return None
+
+
+def _shrink_divergence(program: GeneratedProgram, config: FuzzConfig,
+                       kind: str, budget: int) -> Module:
+    """Minimize the failing module, preserving config and failure kind.
+
+    Mutant simulations get a step budget scaled to the *original*
+    program's run: deleting a loop decrement makes the loop infinite, and
+    without the tight budget every such mutant would burn the full
+    default step limit before being rejected."""
+    base = reference_outcome(program.module, program.machine)
+    step_cap = (base.dynamic_instructions * 4 + 10_000) if base else 100_000
+
+    def still_fails(candidate: Module) -> bool:
+        ref = reference_outcome(candidate, program.machine,
+                                max_steps=step_cap)
+        if ref is None:
+            return False
+        found = check_config(candidate, program.machine, config, ref)
+        return found is not None and found[0] == kind
+
+    return shrink_module(program.module, still_fails, budget=budget)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz run."""
+
+    seeds: int = 0
+    checks: int = 0
+    skips: int = 0
+    invalid_seeds: int = 0
+    shrinks: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def format(self) -> str:
+        lines = [f"fuzz: {self.seeds} seed(s), {self.checks} check(s), "
+                 f"{self.skips} skip(s), {self.invalid_seeds} invalid "
+                 f"seed(s), {len(self.divergences)} divergence(s)"]
+        for div in self.divergences:
+            lines.append(div.format())
+        return "\n".join(lines)
+
+
+def run_seed(seed: int, *, configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
+             shrink: bool = True, shrink_budget: int = 400,
+             max_shrinks: int = 3,
+             report: FuzzReport | None = None) -> FuzzReport:
+    """Fuzz one seed across ``configs``, appending into ``report``.
+
+    At most ``max_shrinks`` divergences per report are minimized (a
+    systematically broken allocator diverges on most seeds × configs, and
+    shrinking each witness costs hundreds of pipeline runs); later ones
+    are reported with the full module."""
+    rep = report if report is not None else FuzzReport()
+    rep.seeds += 1
+    program = program_for_seed(seed)
+    ref = reference_outcome(program.module, program.machine)
+    if ref is None:
+        # The generator promises terminating, fully-initialized programs;
+        # an invalid seed is a generator bug worth counting, not hiding.
+        rep.invalid_seeds += 1
+        return rep
+    size = sum(fn.instruction_count()
+               for fn in program.module.functions.values())
+    for config in configs:
+        rep.checks += 1
+        found = check_config(program.module, program.machine, config, ref)
+        if found is None:
+            continue
+        kind, message = found
+        if kind == "skip":
+            rep.skips += 1
+            continue
+        witness = program.module
+        if shrink and rep.shrinks < max_shrinks:
+            rep.shrinks += 1
+            witness = _shrink_divergence(program, config, kind, shrink_budget)
+        rep.divergences.append(Divergence(
+            seed=seed, config=config.name, kind=kind, message=message,
+            describe=program.describe, module_text=print_module(witness),
+            shrunk_from=size,
+            shrunk_to=sum(fn.instruction_count()
+                          for fn in witness.functions.values())))
+    return rep
+
+
+def fuzz(seeds: range | list[int], *,
+         configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
+         shrink: bool = True, shrink_budget: int = 400,
+         max_shrinks: int = 3, progress=None) -> FuzzReport:
+    """Fuzz every seed in ``seeds``; return the aggregate report."""
+    report = FuzzReport()
+    for seed in seeds:
+        run_seed(seed, configs=configs, shrink=shrink,
+                 shrink_budget=shrink_budget, max_shrinks=max_shrinks,
+                 report=report)
+        if progress is not None:
+            progress(seed, report)
+    return report

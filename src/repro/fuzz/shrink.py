@@ -1,0 +1,180 @@
+"""Delta-debugging (ddmin) minimization of failing fuzz modules.
+
+Given a module on which some allocator configuration misbehaves, the
+shrinker searches for a small sub-program that still fails the same way,
+so the report shows a handful of instructions instead of a 200-line
+random program.  The unit of deletion is the instruction (terminators
+are never deleted, so the CFG shape survives); a post-pass drops helper
+functions that lost all their call sites.
+
+A candidate deletion is *valid* only when the reference (unallocated)
+module still makes sense as an oracle:
+
+* no temporary is live into any function's entry block — the generator's
+  "defined before any use on every path" guarantee, restated as a
+  liveness fact (the backward may-analysis over-approximates, so an
+  empty entry live-in set implies the guarantee);
+* every physical-register use is preceded by a def of that register in
+  the same block (parameter registers count as defined at the top of the
+  entry block).  Lowered code only ever uses physregs in tight
+  marshalling idioms (``mov r1, t; call``, ``mov r0, t; ret``); deleting
+  the feeding move leaves a register live across a region the allocators
+  are entitled to clobber, which the simulator tolerates (registers
+  start zeroed) but which is outside the allocators' input contract —
+  such a candidate would report phantom divergences;
+* the reference simulation still terminates without faulting.
+
+Candidates are accepted when they are valid *and* the caller's failure
+predicate still fires — classic ddmin, with a budget on predicate
+evaluations so shrinking always finishes quickly.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Callable
+
+from repro.cfg.cfg import CFG
+from repro.dataflow.liveness import compute_liveness
+from repro.ir.instr import Op
+from repro.ir.module import Module
+from repro.ir.temp import PhysReg
+from repro.ir.types import RegClass
+from repro.sim import SimulationError, simulate
+from repro.target.machine import MachineDescription
+
+#: A coordinate of one deletable instruction: (function, block, index).
+_Coord = tuple[str, str, int]
+
+
+def _deletable(module: Module) -> list[_Coord]:
+    """Every instruction that may be removed (everything but terminators)."""
+    coords: list[_Coord] = []
+    for fname, fn in module.functions.items():
+        for block in fn.blocks:
+            for i in range(len(block.instrs) - 1):
+                coords.append((fname, block.label, i))
+    return coords
+
+
+def _without(module: Module, removed: set[_Coord]) -> Module:
+    """A deep copy of ``module`` minus the instructions at ``removed``."""
+    out = copy.deepcopy(module)
+    for fname, fn in out.functions.items():
+        for block in fn.blocks:
+            block.instrs = [instr for i, instr in enumerate(block.instrs)
+                            if (fname, block.label, i) not in removed]
+    return out
+
+
+def _drop_dead_helpers(module: Module) -> Module:
+    """Remove functions unreachable from ``main`` through remaining calls."""
+    out = copy.deepcopy(module)
+    reachable: set[str] = set()
+    stack = ["main"]
+    while stack:
+        name = stack.pop()
+        if name in reachable or name not in out.functions:
+            continue
+        reachable.add(name)
+        for instr in out.functions[name].instructions():
+            if instr.op is Op.CALL and instr.callee:
+                stack.append(instr.callee)
+    for name in list(out.functions):
+        if name not in reachable:
+            del out.functions[name]
+    return out
+
+
+def physreg_uses_are_block_local(module: Module,
+                                 machine: MachineDescription) -> bool:
+    """True when every physical-register use has an in-block feeding def.
+
+    This is the allocators' input contract for precolored operands: the
+    marshalling idioms the lowering emits (``mov r1, t`` before a call,
+    ``mov r0, t`` before a ret, reads of parameter/return registers right
+    after entry or a call) never stretch a physreg live range past code
+    the allocator may clobber.  Parameter registers count as defined at
+    the top of the entry block.
+    """
+    params = {reg for cls in (RegClass.GPR, RegClass.FPR)
+              for reg in machine.param_regs(cls)}
+    for fn in module.functions.values():
+        for block in fn.blocks:
+            defined = set(params) if block is fn.entry else set()
+            for instr in block.instrs:
+                for use in instr.uses:
+                    if isinstance(use, PhysReg) and use not in defined:
+                        return False
+                defined.update(reg for reg in instr.defs
+                               if isinstance(reg, PhysReg))
+    return True
+
+
+def reference_outcome(module: Module, machine: MachineDescription, *,
+                      max_steps: int = 2_000_000):
+    """The oracle run for ``module``, or ``None`` if it is not a valid
+    reference (a temporary live into some entry block, a physreg used
+    without a local def, a simulator fault, or a blown step budget)."""
+    for fn in module.functions.values():
+        if not fn.blocks:
+            return None
+        liveness = compute_liveness(fn, CFG.build(fn))
+        if liveness.live_in_temps(fn.entry.label):
+            return None
+    if not physreg_uses_are_block_local(module, machine):
+        return None
+    try:
+        return simulate(module, machine, max_steps=max_steps)
+    except (SimulationError, RecursionError):
+        return None
+
+
+def shrink_module(module: Module, still_fails: Callable[[Module], bool], *,
+                  budget: int = 400) -> Module:
+    """ddmin: the smallest found sub-module on which ``still_fails`` holds.
+
+    ``still_fails`` receives a candidate module and reports whether the
+    original failure is still present; it is also responsible for
+    rejecting invalid candidates (callers do this by requiring
+    :func:`reference_outcome` to succeed — with a step budget scaled to
+    the original program, since deletions can make loops infinite).  At
+    most ``budget`` candidates are evaluated; the best module found so
+    far is returned when the budget runs out, so the result is always at
+    least as small as the input.
+    """
+    spent = 0
+
+    def test(candidate: Module) -> bool:
+        nonlocal spent
+        if spent >= budget:
+            return False
+        spent += 1
+        return still_fails(candidate)
+
+    coords = _deletable(module)
+    kept = list(coords)
+    n = 2
+    while len(kept) >= 2 and spent < budget:
+        chunk_size = max(1, len(kept) // n)
+        reduced = False
+        for start in range(0, len(kept), chunk_size):
+            chunk = set(kept[start:start + chunk_size])
+            survivor = [c for c in kept if c not in chunk]
+            removed = set(coords) - set(survivor)
+            if test(_without(module, removed)):
+                kept = survivor
+                n = max(n - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if n >= len(kept):
+                break
+            n = min(len(kept), n * 2)
+
+    removed = set(coords) - set(kept)
+    best = _without(module, removed)
+    trimmed = _drop_dead_helpers(best)
+    if len(trimmed.functions) < len(best.functions) and test(trimmed):
+        best = trimmed
+    return best

@@ -19,7 +19,9 @@ from repro.obs.profile import PhaseProfiler
 from repro.obs.trace import Tracer
 from repro.passes.dce import eliminate_dead_code_module
 from repro.passes.peephole import remove_redundant_moves_module
-from repro.passes.verify_alloc import verify_allocation_module
+from repro.passes.verify_alloc import (snapshot_module,
+                                       verify_allocation_module,
+                                       verify_dataflow_module)
 from repro.target.machine import MachineDescription
 
 
@@ -43,7 +45,8 @@ class PipelineResult:
 def run_allocator(module: Module, allocator: RegisterAllocator,
                   machine: MachineDescription, *, dce: bool = True,
                   peephole: bool = True, spill_cleanup: bool = False,
-                  verify: bool = True, trace: Tracer | None = None,
+                  verify: bool = True, verify_dataflow: bool = False,
+                  trace: Tracer | None = None,
                   profiler: PhaseProfiler | None = None,
                   metrics: MetricsRegistry | None = None) -> PipelineResult:
     """Copy ``module``, run DCE → allocation → peephole, verify, report.
@@ -52,6 +55,13 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
     cleanup the paper sketches as future work (store-to-load forwarding
     and dead spill-store elimination) — off by default so measurements
     reflect the paper's pipeline, on for the extension ablation.
+
+    ``verify_dataflow`` additionally runs the path-sensitive dataflow
+    verifier (:func:`repro.passes.verify_alloc.verify_dataflow`) right
+    after allocation — before spill cleanup and the peephole, which
+    rewrite the allocator's output.  It assumes every source temporary
+    is defined before use on every path, which hand-written IR need not
+    guarantee, so it stays opt-in.
 
     ``trace``/``profiler``/``metrics`` plug observability into every
     stage (see :mod:`repro.obs`); defaults are no-op/fresh objects,
@@ -63,8 +73,12 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
     working = copy.deepcopy(module)
     with prof.phase("pipeline.dce"):
         dce_removed = eliminate_dead_code_module(working) if dce else 0
+    snapshots = snapshot_module(working) if verify_dataflow else None
     stats = allocate_module(working, allocator.fresh(), machine,
                             trace=trace, profiler=prof, metrics=metrics)
+    if snapshots is not None:
+        with prof.phase("pipeline.verify_dataflow"):
+            verify_dataflow_module(working, machine, snapshots)
     with prof.phase("pipeline.spill_cleanup"):
         cleanup = (cleanup_spill_code_module(working) if spill_cleanup
                    else SpillCleanupStats())

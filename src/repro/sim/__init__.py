@@ -17,6 +17,7 @@ The simulator plays two roles in the reproduction:
 """
 
 from repro.sim.errors import SimulationError
-from repro.sim.machine import SimOutcome, Simulator, simulate
+from repro.sim.machine import SimOutcome, Simulator, outputs_equal, simulate
 
-__all__ = ["SimOutcome", "SimulationError", "Simulator", "simulate"]
+__all__ = ["SimOutcome", "SimulationError", "Simulator", "outputs_equal",
+           "simulate"]

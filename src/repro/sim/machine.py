@@ -27,6 +27,15 @@ Strictness (all on by default):
 * reading a stack slot that was never stored in this frame faults —
   this is what catches missing spill stores (the consistency dataflow's
   whole job, Section 2.4).
+
+Opt-in strictness (off by default, used by the fuzz harness):
+
+* ``trap_poison``: reading a register still holding call poison faults
+  immediately with the offending instruction, instead of silently
+  propagating the poison value until (maybe) an output diverges.
+  Tracked per register, not by value, so a program that legitimately
+  computes the poison constant is unaffected; the trap does not follow
+  poison through memory (a stored poison value reloads silently).
 """
 
 from __future__ import annotations
@@ -130,12 +139,14 @@ class Simulator:
 
     def __init__(self, module: Module, machine: MachineDescription, *,
                  max_steps: int = 50_000_000, poison_calls: bool = True,
-                 check_callee_saved: bool = True):
+                 check_callee_saved: bool = True, trap_poison: bool = False):
         self.module = module
         self.machine = machine
         self.max_steps = max_steps
         self.poison_calls = poison_calls
         self.check_callee_saved = check_callee_saved
+        self.trap_poison = trap_poison
+        self._poisoned: set[PhysReg] = set()
         self.regs: dict[PhysReg, int | float] = {}
         for reg in machine.gprs:
             self.regs[reg] = 0
@@ -161,10 +172,14 @@ class Simulator:
             default: int | float = 0 if reg.regclass is RegClass.GPR else 0.0
             return frame.temps.get(reg, default)
         try:
-            return self.regs[reg]
+            value = self.regs[reg]
         except KeyError:
             raise SimulationError(f"register {reg} does not exist on "
                                   f"{self.machine.name}") from None
+        if self.trap_poison and reg in self._poisoned:
+            raise SimulationError(
+                f"read of caller-saved {reg} still poisoned by a call")
+        return value
 
     def _write(self, frame: _Frame, reg: Reg, value: int | float) -> None:
         if isinstance(reg, Temp):
@@ -174,6 +189,7 @@ class Simulator:
                 raise SimulationError(f"register {reg} does not exist on "
                                       f"{self.machine.name}")
             self.regs[reg] = value
+            self._poisoned.discard(reg)
 
     def _heap_load(self, address: int, cls: RegClass, fn: str) -> int | float:
         if not isinstance(address, int):
@@ -277,6 +293,7 @@ class Simulator:
                             if reg in skip:
                                 continue
                             self.regs[reg] = poison
+                            self._poisoned.add(reg)
                 for d in instr.defs:
                     if value is None:
                         raise SimulationError(
@@ -428,6 +445,7 @@ def simulate(module: Module, machine: MachineDescription, *,
              entry: str = "main", max_steps: int = 50_000_000,
              poison_calls: bool = True,
              check_callee_saved: bool = True,
+             trap_poison: bool = False,
              metrics=None) -> SimOutcome:
     """Run ``module`` from ``entry`` and return the :class:`SimOutcome`.
 
@@ -436,7 +454,8 @@ def simulate(module: Module, machine: MachineDescription, *,
     """
     sim = Simulator(module, machine, max_steps=max_steps,
                     poison_calls=poison_calls,
-                    check_callee_saved=check_callee_saved)
+                    check_callee_saved=check_callee_saved,
+                    trap_poison=trap_poison)
     outcome = sim.run(entry)
     if metrics is not None:
         outcome.publish(metrics)

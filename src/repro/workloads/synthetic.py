@@ -115,7 +115,10 @@ class _FunctionGenerator:
         elif roll < 0.86 and depth < 3:
             self._if_statement(depth)
         elif depth < 3:
-            self._loop_statement(depth)
+            if rng.random() < 0.35:
+                self._critical_loop_statement(depth)
+            else:
+                self._loop_statement(depth)
         else:
             self.b.mov(self.int_expr(), dst=rng.choice(self.int_vars))
 
@@ -178,6 +181,35 @@ class _FunctionGenerator:
         self.statements(rng.randint(1, 4), depth + 1)
         self.b.mov(self.b.addi(counter, -1), dst=counter)
         self.b.jmp(head)
+        self.b.new_block(done)
+
+    def _critical_loop_statement(self, depth: int) -> None:
+        """A do-while loop whose backedge is a *critical* CFG edge.
+
+        The loop body is entered both by fall-in and by the backedge, and
+        the latch's conditional branch has two successors — so the
+        backedge runs from a multi-successor block to a multi-predecessor
+        block, exactly the shape edge resolution must split.  An optional
+        early exit makes the loop-exit edge critical as well.
+        """
+        rng = self.rng
+        counter = self.b.mov(self.b.li(rng.randint(1, 4)))
+        body = self.fn.new_label("cbody")
+        done = self.fn.new_label("cexit")
+        early = rng.random() < 0.5
+        self.b.jmp(body)
+        self.b.new_block(body)
+        if early:
+            # ``done`` gains a second predecessor, so this exit edge is
+            # critical too (the branch block keeps its two successors).
+            cond = self.b.seq(counter, self.b.li(rng.randint(5, 9)))
+            stay = self.fn.new_label("cstay")
+            self.b.br(cond, done, stay)
+            self.b.new_block(stay)
+        self.statements(rng.randint(1, 3), depth + 1)
+        self.b.mov(self.b.addi(counter, -1), dst=counter)
+        zero = self.b.li(0)
+        self.b.br(self.b.slt(zero, counter), body, done)
         self.b.new_block(done)
 
     # ------------------------------------------------------------------

@@ -59,7 +59,7 @@ class TestInterferenceGraph:
         self.graph.add_edge(a, b)
         self.graph.add_edge(a, b)  # idempotent
         assert self.graph.degree[a] == 1
-        assert self.graph.adj_list[b] == {a}
+        assert list(self.graph.adj_list[b]) == [a]
         assert self.graph.interferes(a, b)
         assert self.graph.edge_count() == 1
 

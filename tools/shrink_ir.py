@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Shrink an IR module file on which an allocator config misbehaves.
+
+Reads IR text (as printed by ``repro.ir.printer`` or by ``repro fuzz
+--out``), re-checks the named configuration against the simulator
+oracle, and — if the failure reproduces — delta-debugs the module down
+to a minimal witness, written to stdout (or ``--out``).
+
+Usage::
+
+    PYTHONPATH=src python tools/shrink_ir.py failing.ir \
+        --config sc-default --machine tiny --gpr 4 --fpr 4
+
+The config names are the fuzz grid's (see ``repro.fuzz.CONFIG_GRID``);
+the machine must match the one the failure was found on, since register
+counts change the allocation completely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz import CONFIG_GRID, check_config, shrink_module
+from repro.fuzz.shrink import reference_outcome
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.target import alpha, tiny
+
+
+def main(argv: list[str] | None = None) -> int:
+    by_name = {c.name: c for c in CONFIG_GRID}
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("file", help="IR module text file")
+    ap.add_argument("--config", required=True, choices=sorted(by_name),
+                    help="fuzz-grid config that fails on this module")
+    ap.add_argument("--machine", default="tiny", choices=["alpha", "tiny"])
+    ap.add_argument("--gpr", type=int, default=8,
+                    help="GPR file size for --machine tiny (default: 8)")
+    ap.add_argument("--fpr", type=int, default=8,
+                    help="FPR file size for --machine tiny (default: 8)")
+    ap.add_argument("--budget", type=int, default=400,
+                    help="max candidate evaluations (default: 400)")
+    ap.add_argument("--out", help="write the shrunken IR here (default: stdout)")
+    args = ap.parse_args(argv)
+
+    machine = alpha() if args.machine == "alpha" else tiny(args.gpr, args.fpr)
+    config = by_name[args.config]
+    with open(args.file) as fh:
+        module = parse_module(fh.read())
+
+    ref = reference_outcome(module, machine)
+    if ref is None:
+        print("error: the module is not a valid oracle reference "
+              "(entry-live temporary, simulator fault, or non-termination)",
+              file=sys.stderr)
+        return 2
+    found = check_config(module, machine, config, ref)
+    if found is None or found[0] == "skip":
+        print(f"error: config {config.name} does not fail on this module "
+              f"({'skipped: ' + found[1] if found else 'matches the oracle'})",
+              file=sys.stderr)
+        return 2
+    kind, message = found
+    print(f"# reproducing failure: [{kind}] {message}", file=sys.stderr)
+
+    def still_fails(candidate) -> bool:
+        cref = reference_outcome(candidate, machine)
+        if cref is None:
+            return False
+        got = check_config(candidate, machine, config, cref)
+        return got is not None and got[0] == kind
+
+    shrunk = shrink_module(module, still_fails, budget=args.budget)
+    before = sum(fn.instruction_count() for fn in module.functions.values())
+    after = sum(fn.instruction_count() for fn in shrunk.functions.values())
+    print(f"# shrunk {before} -> {after} instructions", file=sys.stderr)
+    text = print_module(shrunk)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
