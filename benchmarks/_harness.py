@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.allocators import GraphColoring, SecondChanceBinpacking
 from repro.pipeline import run_allocator
+from repro.pm.session import CompilationSession
 from repro.sim import simulate
 from repro.sim.machine import outputs_equal
 from repro.target import alpha
@@ -46,9 +47,13 @@ class QualityRun:
         self.reference = simulate(module, machine)
         self.results = {}
         self.outcomes = {}
+        # One session per analog: both allocators share the setup
+        # analyses and the DCE'd base, per Section 3's methodology.
+        session = CompilationSession(module, machine)
         for key, allocator in (("binpack", SecondChanceBinpacking()),
                                ("coloring", GraphColoring())):
-            result = run_allocator(module, allocator, machine)
+            result = run_allocator(module, allocator, machine,
+                                   session=session)
             outcome = simulate(result.module, machine)
             assert outputs_equal(outcome.output, self.reference.output), (
                 f"{name}/{key}: allocation changed observable behaviour")

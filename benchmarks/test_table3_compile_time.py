@@ -14,9 +14,21 @@ least three repetitions**, each measured through the phase profiler's
 ``allocate`` span (the same clock ``alloc_seconds`` is defined by), so a
 single noisy run cannot skew a ratio.  The reproduced *shape*: rough
 parity at 245 candidates and a large coloring penalty at ~6200+.
+
+All cells of one size share a :class:`CompilationSession` — the setup
+analyses are computed once per module and *transferred* onto each
+repetition's clone, the same analyze-once discipline the paper's timing
+methodology assumes.  The report therefore splits timing three ways:
+
+* **shared setup** — computing CFG/liveness/loops/lifetimes once, paid
+  one time per module no matter how many allocators run;
+* **per-run setup** — rebinding the cached analyses onto a run's clone
+  (the marginal setup cost of one more allocator run);
+* **allocator core** — the paper's timed region.
+
+The split is persisted to ``benchmarks/results/table3.txt``.
 """
 
-import copy
 import os
 import statistics
 
@@ -25,6 +37,7 @@ import pytest
 from repro.allocators import GraphColoring, SecondChanceBinpacking
 from repro.allocators.base import allocate_module
 from repro.obs import PhaseProfiler
+from repro.pm.session import CompilationSession
 from repro.stats.report import format_table
 from repro.target import alpha
 from repro.workloads.synthetic import scaled_module
@@ -40,18 +53,40 @@ REPETITIONS = max(3, int(os.environ.get("REPRO_TABLE3_REPS", "3")))
 
 _RECORDED: dict[tuple[str, int], dict] = {}
 
+#: One compilation session per module size, shared by both allocators'
+#: cells — plus the one-time cost of computing its analyses cold.
+_SESSIONS: dict[int, CompilationSession] = {}
+_SETUP_COLD: dict[int, float] = {}
+
+
+def _session(n: int) -> CompilationSession:
+    session = _SESSIONS.get(n)
+    if session is None:
+        session = CompilationSession(scaled_module(n), alpha())
+        profiler = PhaseProfiler()
+        with profiler.phase("setup"):
+            for fn in session.module.functions.values():
+                session.shared(fn, profiler=profiler)
+        _SETUP_COLD[n] = profiler.seconds("setup")
+        _SESSIONS[n] = session
+    return session
+
 
 def _run_core(n: int, allocator_factory):
-    module = scaled_module(n)
-    working = copy.deepcopy(module)
+    session = _session(n)
+    instr_map: dict = {}
+    working = session.module.clone(instr_map)
+    for name, fn in working.functions.items():
+        session.analyses.link_clone(session.module.functions[name], fn,
+                                    instr_map)
     profiler = PhaseProfiler()
     stats = allocate_module(working, allocator_factory(), alpha(),
-                            profiler=profiler)
+                            profiler=profiler, session=session)
     # alloc_seconds *is* the profiler's "allocate" phase measurement;
     # assert the identity so the benchmark numbers stay anchored to the
     # instrumentation they claim to come from.
     assert abs(stats.alloc_seconds - profiler.seconds("allocate")) < 1e-9
-    return stats
+    return stats, profiler.seconds("setup")
 
 
 @pytest.mark.parametrize("n", SIZES)
@@ -61,10 +96,12 @@ def _run_core(n: int, allocator_factory):
 def test_table3_core_timing(benchmark, allocator_factory, n):
     """One benchmark per (allocator, size) cell of Table 3."""
     samples = []
+    setup_samples = []
 
     def one_rep():
-        stats = _run_core(n, allocator_factory)
+        stats, setup_seconds = _run_core(n, allocator_factory)
         samples.append(stats)
+        setup_samples.append(setup_seconds)
         return stats
 
     benchmark.pedantic(one_rep, rounds=REPETITIONS, iterations=1,
@@ -73,6 +110,9 @@ def test_table3_core_timing(benchmark, allocator_factory, n):
     key = (stats.allocator, n)
     _RECORDED[key] = {
         "core_seconds": statistics.median(s.alloc_seconds for s in samples),
+        # Every rep runs against the warm session, so this is the
+        # *per-run* (transfer) setup cost, not the cold computation.
+        "setup_seconds": statistics.median(setup_samples),
         "repetitions": len(samples),
         "candidates": stats.total_candidates(),
         "edges": sum(stats.interference_edges.values()),
@@ -94,16 +134,21 @@ def test_table3_report(benchmark, capsys):
     for n in SIZES:
         b = _RECORDED[("second-chance binpacking", n)]
         c = _RECORDED[("graph coloring", n)]
+        per_run_setup = max(b["setup_seconds"], c["setup_seconds"])
         rows.append([n, b["candidates"], c["edges"], c["rounds"],
+                     round(_SETUP_COLD.get(n, 0.0), 3),
+                     round(per_run_setup, 4),
                      round(c["core_seconds"], 3), round(b["core_seconds"], 3),
                      c["core_seconds"] / max(b["core_seconds"], 1e-9)])
     table = format_table(
         ["target candidates", "candidates", "if-graph edges",
-         "color rounds", "GC core (s)", "binpack core (s)", "GC/binpack"],
+         "color rounds", "shared setup (s)", "per-run setup (s)",
+         "GC core (s)", "binpack core (s)", "GC/binpack"],
         rows,
         title=("Table 3: allocation-core time vs problem size "
-               f"(median of {reps} repetitions per cell; edges/rounds "
-               "cover all coloring iterations)"))
+               f"(median of {reps} repetitions per cell; shared setup paid "
+               "once per module, per-run setup is the cached-analysis "
+               "rebind each repetition pays)"))
     emit_table(capsys, "table3.txt", table)
     small, large = rows[0], rows[-1]
     # The paper's shape: coloring competitive on the small module...
@@ -112,3 +157,9 @@ def test_table3_report(benchmark, capsys):
     assert large[-1] > 3.0
     # And coloring's slowdown grows with size.
     assert large[-1] > small[-1]
+    # The session discipline: rebinding cached analyses onto a clone must
+    # be much cheaper than computing them (the point of the cache).
+    for n in SIZES:
+        b = _RECORDED[("second-chance binpacking", n)]
+        assert b["setup_seconds"] <= max(_SETUP_COLD[n], 1e-4), (
+            "per-run setup should not exceed the one-time computation")

@@ -27,27 +27,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.allocators import (
-    GraphColoring,
-    PolettoLinearScan,
-    SecondChanceBinpacking,
-    TwoPassBinpacking,
-)
+from repro.allocators import ALLOCATOR_FACTORIES
 from repro.ir.printer import print_module
 from repro.lang import compile_minic
-from repro.obs import JsonlSink, PhaseProfiler, RingBufferSink, TextSink, Tracer
+from repro.obs import (JsonlSink, MetricsRegistry, PhaseProfiler,
+                       RingBufferSink, TextSink, Tracer)
 from repro.pipeline import run_allocator
+from repro.pm.batch import compare_allocators
 from repro.sim import simulate
 from repro.sim.machine import outputs_equal
 from repro.stats.report import format_table
 from repro.target import alpha, tiny
 
-ALLOCATORS = {
-    "second-chance": SecondChanceBinpacking,
-    "two-pass": TwoPassBinpacking,
-    "coloring": GraphColoring,
-    "poletto": PolettoLinearScan,
-}
+ALLOCATORS = ALLOCATOR_FACTORIES
 
 
 def _machine(name: str):
@@ -130,18 +122,18 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _comparison(module, machine, spill_cleanup: bool,
-                trace: Tracer | None = None) -> str:
+                trace: Tracer | None = None, jobs: int = 1) -> str:
     reference = simulate(module, machine)
+    cells = compare_allocators(module, machine, spill_cleanup=spill_cleanup,
+                               jobs=jobs, trace=trace)
     rows = []
-    for name, factory in ALLOCATORS.items():
-        result = run_allocator(module, factory(), machine,
-                               spill_cleanup=spill_cleanup, trace=trace)
-        outcome = simulate(result.module, machine)
-        if not outputs_equal(outcome.output, reference.output):
-            raise SystemExit(f"{name}: allocation changed program output!")
-        rows.append([name, outcome.dynamic_instructions, outcome.cycles,
-                     f"{100 * outcome.spill_fraction():.2f}%",
-                     f"{result.stats.alloc_seconds * 1000:.1f}"])
+    for cell in cells:
+        if not outputs_equal(cell.output, reference.output):
+            raise SystemExit(
+                f"{cell.allocator}: allocation changed program output!")
+        rows.append([cell.allocator, cell.dynamic_instructions, cell.cycles,
+                     f"{100 * cell.spill_fraction:.2f}%",
+                     f"{cell.alloc_seconds * 1000:.1f}"])
     return format_table(
         ["allocator", "dyn instrs", "cycles", "spill%", "alloc ms"], rows)
 
@@ -151,7 +143,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     module = _load_module(args.file, machine)
     with _TraceOut(args) as out:
         print(_comparison(module, machine, args.spill_cleanup,
-                          trace=out.tracer()))
+                          trace=out.tracer(), jobs=args.jobs))
     return 0
 
 
@@ -166,7 +158,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"benchmark analog: {args.name} on {machine}")
     with _TraceOut(args) as out:
         print(_comparison(module, machine, args.spill_cleanup,
-                          trace=out.tracer()))
+                          trace=out.tracer(), jobs=args.jobs))
     return 0
 
 
@@ -200,10 +192,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     module = _load_module(args.file, machine)
     allocator = ALLOCATORS[args.allocator]()
     profiler = PhaseProfiler()
+    # One registry for the whole run so the session's analysis-cache
+    # counters (pm.*) render alongside the allocator's own.
+    metrics = MetricsRegistry()
     with _TraceOut(args) as out:
         result = run_allocator(module, allocator, machine,
                                spill_cleanup=args.spill_cleanup,
-                               profiler=profiler, trace=out.tracer())
+                               profiler=profiler, trace=out.tracer(),
+                               metrics=metrics)
     stats = result.stats
     print(profiler.render(title=f"phase profile: {allocator.name}"))
     print(f"alloc_seconds = {stats.alloc_seconds * 1e3:.3f} ms "
@@ -233,7 +229,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                   f"{len(report.divergences)} divergence(s)", file=sys.stderr)
 
     report = fuzz(seeds, configs=configs, shrink=not args.no_shrink,
-                  shrink_budget=args.shrink_budget,
+                  shrink_budget=args.shrink_budget, jobs=args.jobs,
                   progress=progress if args.verbose else None)
     print(report.format())
     if not report.ok and args.out:
@@ -284,16 +280,25 @@ def build_parser() -> argparse.ArgumentParser:
     common(compile_p)
     compile_p.set_defaults(func=cmd_compile)
 
+    def jobs_option(p: argparse.ArgumentParser):
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run up to N allocator/seed jobs in parallel "
+                            "worker processes (default: 1 = serial, one "
+                            "shared analysis cache); output is identical "
+                            "either way")
+
     compare_p = sub.add_parser("compare",
                                help="compare all allocators on a minic file")
     compare_p.add_argument("file")
     common(compare_p, with_allocator=False)
+    jobs_option(compare_p)
     compare_p.set_defaults(func=cmd_compare)
 
     bench_p = sub.add_parser("bench",
                              help="compare allocators on a built-in analog")
     bench_p.add_argument("name")
     common(bench_p, with_allocator=False)
+    jobs_option(bench_p)
     bench_p.set_defaults(func=cmd_bench)
 
     trace_p = sub.add_parser(
@@ -329,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write shrunken repro IR to FILE")
     fuzz_p.add_argument("--verbose", action="store_true",
                         help="per-seed progress on stderr")
+    jobs_option(fuzz_p)
     fuzz_p.set_defaults(func=cmd_fuzz)
     return parser
 

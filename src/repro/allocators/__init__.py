@@ -27,7 +27,32 @@ from repro.allocators.binpack import SecondChanceBinpacking, TwoPassBinpacking
 from repro.allocators.coloring import GraphColoring
 from repro.allocators.linearscan import PolettoLinearScan
 
+#: Allocator constructors by CLI name.  Batch-compilation workers build
+#: allocators from these names (a name pickles; a configured allocator
+#: object need not), so the registry lives here, importable everywhere.
+ALLOCATOR_FACTORIES: dict[str, type[RegisterAllocator]] = {
+    "second-chance": SecondChanceBinpacking,
+    "two-pass": TwoPassBinpacking,
+    "coloring": GraphColoring,
+    "poletto": PolettoLinearScan,
+}
+
+
+def make_allocator(name: str) -> RegisterAllocator:
+    """Construct a fresh allocator from its registry name."""
+    try:
+        factory = ALLOCATOR_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown allocator {name!r} "
+            f"(choose from {', '.join(sorted(ALLOCATOR_FACTORIES))})"
+        ) from None
+    return factory()
+
+
 __all__ = [
+    "ALLOCATOR_FACTORIES",
+    "make_allocator",
     "AllocationStats",
     "GraphColoring",
     "PolettoLinearScan",

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.cfg.cfg import CFG
 from repro.ir.block import BasicBlock
@@ -32,6 +33,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseProfiler
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.target.machine import MachineDescription
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pm -> base)
+    from repro.pm.session import CompilationSession
 
 
 class AllocationError(RuntimeError):
@@ -250,7 +254,9 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
                     machine: MachineDescription, *,
                     trace: Tracer | None = None,
                     profiler: PhaseProfiler | None = None,
-                    metrics: MetricsRegistry | None = None) -> AllocationStats:
+                    metrics: MetricsRegistry | None = None,
+                    session: "CompilationSession | None" = None
+                    ) -> AllocationStats:
     """Run ``allocator`` over every function of ``module`` (in place).
 
     Shared analyses run under ``setup.*`` phases, outside the timed core;
@@ -259,6 +265,13 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
     The optional ``trace``/``profiler``/``metrics`` plug external
     observability in; by default tracing is disabled and the profiler
     and metrics registry are fresh per run (reachable via the stats).
+
+    With a ``session`` (:class:`repro.pm.session.CompilationSession`) the
+    shared analyses come from the session's cache — transferred from the
+    base module when this module is one of its clones — and each function
+    is invalidated in that cache right after allocation rewrites it, per
+    the invalidation contract (the allocators insert spill code and split
+    edges, so nothing survives).
     """
     # `is None` checks, not `or`: an empty MetricsRegistry is falsy.
     stats = AllocationStats(
@@ -272,7 +285,10 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
         if tr.enabled:
             tr.set_location(fn=fn.name)
         with prof.phase("setup"):
-            shared = SharedAnalyses.build(fn, machine, prof)
+            if session is not None:
+                shared = session.shared(fn, profiler=prof)
+            else:
+                shared = SharedAnalyses.build(fn, machine, prof)
         slots = SpillSlots()
         stats.candidates[fn.name] = len(fn.all_temps())
         with prof.phase("allocate") as core:
@@ -280,6 +296,8 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
         stats.alloc_seconds += core.seconds
         with prof.phase("frame.callee_saved"):
             used = insert_callee_saved_code(fn, machine, slots)
+        if session is not None:
+            session.analyses.invalidate(fn)
         stats.callee_saved_used[fn.name] = len(used)
         stats.spilled_temps[fn.name] = len(slots.spilled_temps())
         stats.metrics.bump("alloc.candidates", stats.candidates[fn.name])

@@ -35,6 +35,8 @@ from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.passes.verify_alloc import AllocationVerifyError
 from repro.pipeline import run_allocator
+from repro.pm.batch import run_batch
+from repro.pm.session import CompilationSession
 from repro.sim import SimulationError, outputs_equal, simulate
 from repro.target.machine import MachineDescription
 
@@ -108,16 +110,20 @@ def _result_matches(a: int | float | None, b: int | float | None) -> bool:
 
 
 def check_config(module: Module, machine: MachineDescription,
-                 config: FuzzConfig, ref) -> tuple[str, str] | None:
+                 config: FuzzConfig, ref,
+                 session: CompilationSession | None = None
+                 ) -> tuple[str, str] | None:
     """Run one configuration; ``None`` when it matches the oracle.
 
     Returns ``("skip", reason)`` when the machine is legitimately too
     small, otherwise ``(kind, message)`` describing the divergence.
     ``ref`` is the oracle outcome for the unallocated ``module``.
+    ``session`` lets all eleven grid configurations share one analysis
+    cache and one DCE'd base module (see :mod:`repro.pm`).
     """
     try:
         result = run_allocator(module, config.make(), machine,
-                               verify_dataflow=True)
+                               verify_dataflow=True, session=session)
     except AllocationError as exc:
         return ("skip", str(exc))
     except AllocationVerifyError as exc:
@@ -150,11 +156,17 @@ def _shrink_divergence(program: GeneratedProgram, config: FuzzConfig,
     step_cap = (base.dynamic_instructions * 4 + 10_000) if base else 100_000
 
     def still_fails(candidate: Module) -> bool:
+        # One session per candidate: the oracle's validity liveness and
+        # the pipeline's setup analyses are computed once and shared
+        # (candidates are all distinct modules, so nothing caches across
+        # ddmin iterations — but within one, nothing is computed twice).
+        session = CompilationSession(candidate, program.machine)
         ref = reference_outcome(candidate, program.machine,
-                                max_steps=step_cap)
+                                max_steps=step_cap, session=session)
         if ref is None:
             return False
-        found = check_config(candidate, program.machine, config, ref)
+        found = check_config(candidate, program.machine, config, ref,
+                             session=session)
         return found is not None and found[0] == kind
 
     return shrink_module(program.module, still_fails, budget=budget)
@@ -174,6 +186,15 @@ class FuzzReport:
     @property
     def ok(self) -> bool:
         return not self.divergences
+
+    def merge(self, other: "FuzzReport") -> None:
+        """Fold another report (e.g. one worker's seeds) into this one."""
+        self.seeds += other.seeds
+        self.checks += other.checks
+        self.skips += other.skips
+        self.invalid_seeds += other.invalid_seeds
+        self.shrinks += other.shrinks
+        self.divergences.extend(other.divergences)
 
     def format(self) -> str:
         lines = [f"fuzz: {self.seeds} seed(s), {self.checks} check(s), "
@@ -197,7 +218,11 @@ def run_seed(seed: int, *, configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
     rep = report if report is not None else FuzzReport()
     rep.seeds += 1
     program = program_for_seed(seed)
-    ref = reference_outcome(program.module, program.machine)
+    # One session serves the oracle check and all grid configurations:
+    # the seed module's setup analyses and DCE'd base are computed once,
+    # then transferred onto each configuration's clone.
+    session = CompilationSession(program.module, program.machine)
+    ref = reference_outcome(program.module, program.machine, session=session)
     if ref is None:
         # The generator promises terminating, fully-initialized programs;
         # an invalid seed is a generator bug worth counting, not hiding.
@@ -207,7 +232,8 @@ def run_seed(seed: int, *, configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
                for fn in program.module.functions.values())
     for config in configs:
         rep.checks += 1
-        found = check_config(program.module, program.machine, config, ref)
+        found = check_config(program.module, program.machine, config, ref,
+                             session=session)
         if found is None:
             continue
         kind, message = found
@@ -227,12 +253,36 @@ def run_seed(seed: int, *, configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
     return rep
 
 
+def _seed_worker(payload) -> FuzzReport:
+    """Process-pool entry: fuzz one seed into a fresh report."""
+    seed, configs, shrink, shrink_budget, max_shrinks = payload
+    return run_seed(seed, configs=configs, shrink=shrink,
+                    shrink_budget=shrink_budget, max_shrinks=max_shrinks)
+
+
 def fuzz(seeds: range | list[int], *,
          configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
          shrink: bool = True, shrink_budget: int = 400,
-         max_shrinks: int = 3, progress=None) -> FuzzReport:
-    """Fuzz every seed in ``seeds``; return the aggregate report."""
+         max_shrinks: int = 3, progress=None, jobs: int = 1) -> FuzzReport:
+    """Fuzz every seed in ``seeds``; return the aggregate report.
+
+    With ``jobs > 1``, seeds run in parallel worker processes
+    (:func:`repro.pm.batch.run_batch`) and the per-seed reports are
+    merged back in seed order, so the aggregate is deterministic.  One
+    semantic difference from serial: ``max_shrinks`` caps minimizations
+    *per seed* rather than across the whole run, since workers cannot
+    see each other's shrink counts.
+    """
     report = FuzzReport()
+    if jobs > 1:
+        payloads = [(seed, configs, shrink, shrink_budget, max_shrinks)
+                    for seed in seeds]
+        seed_reports = run_batch(_seed_worker, payloads, jobs=jobs)
+        for seed, seed_report in zip(seeds, seed_reports):
+            report.merge(seed_report)
+            if progress is not None:
+                progress(seed, report)
+        return report
     for seed in seeds:
         run_seed(seed, configs=configs, shrink=shrink,
                  shrink_budget=shrink_budget, max_shrinks=max_shrinks,

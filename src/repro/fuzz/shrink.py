@@ -31,7 +31,6 @@ evaluations so shrinking always finishes quickly.
 
 from __future__ import annotations
 
-import copy
 from collections.abc import Callable
 
 from repro.cfg.cfg import CFG
@@ -58,8 +57,10 @@ def _deletable(module: Module) -> list[_Coord]:
 
 
 def _without(module: Module, removed: set[_Coord]) -> Module:
-    """A deep copy of ``module`` minus the instructions at ``removed``."""
-    out = copy.deepcopy(module)
+    """A structural copy of ``module`` minus the instructions at
+    ``removed`` (ddmin generates hundreds of candidates, so the cheap
+    :meth:`Module.clone` matters here)."""
+    out = module.clone()
     for fname, fn in out.functions.items():
         for block in fn.blocks:
             block.instrs = [instr for i, instr in enumerate(block.instrs)
@@ -69,7 +70,7 @@ def _without(module: Module, removed: set[_Coord]) -> Module:
 
 def _drop_dead_helpers(module: Module) -> Module:
     """Remove functions unreachable from ``main`` through remaining calls."""
-    out = copy.deepcopy(module)
+    out = module.clone()
     reachable: set[str] = set()
     stack = ["main"]
     while stack:
@@ -112,14 +113,24 @@ def physreg_uses_are_block_local(module: Module,
 
 
 def reference_outcome(module: Module, machine: MachineDescription, *,
-                      max_steps: int = 2_000_000):
+                      max_steps: int = 2_000_000, session=None):
     """The oracle run for ``module``, or ``None`` if it is not a valid
     reference (a temporary live into some entry block, a physreg used
-    without a local def, a simulator fault, or a blown step budget)."""
+    without a local def, a simulator fault, or a blown step budget).
+
+    ``session`` (a :class:`repro.pm.session.CompilationSession` over this
+    same module) routes the validity liveness check through the session's
+    analysis cache, where the allocator runs that follow will find the
+    CFG and liveness again instead of rebuilding them — previously this
+    function recomputed both from scratch inside the ddmin loop.
+    """
     for fn in module.functions.values():
         if not fn.blocks:
             return None
-        liveness = compute_liveness(fn, CFG.build(fn))
+        if session is not None:
+            liveness = session.analyses.liveness(fn)
+        else:
+            liveness = compute_liveness(fn, CFG.build(fn))
         if liveness.live_in_temps(fn.entry.label):
             return None
     if not physreg_uses_are_block_local(module, machine):

@@ -99,6 +99,33 @@ class Function:
         return f"{hint}{i}"
 
     # ------------------------------------------------------------------
+    # Cloning.
+    # ------------------------------------------------------------------
+    def clone(self, instr_map: dict[Instr, Instr] | None = None) -> "Function":
+        """A structural copy: fresh blocks and instructions, shared atoms.
+
+        Temporaries, physical registers, slots, labels and immediates are
+        immutable values and are shared; block and instruction objects
+        (the only things passes mutate) are fresh.  This is what the
+        pipeline uses instead of ``copy.deepcopy`` — it is one linear
+        sweep with no recursion or memo table.
+
+        ``instr_map``, when given, is filled with the original-to-clone
+        instruction correspondence, which is what lets the analysis
+        manager *transfer* instruction-keyed analyses (linear order,
+        lifetime tables) onto the clone instead of recomputing them.
+        """
+        blocks: list[BasicBlock] = []
+        for block in self.blocks:
+            copied = [instr.copy() for instr in block.instrs]
+            if instr_map is not None:
+                for old, new in zip(block.instrs, copied):
+                    instr_map[old] = new
+            blocks.append(BasicBlock(block.label, copied))
+        return Function(self.name, list(self.params), blocks,
+                        self._next_temp_id)
+
+    # ------------------------------------------------------------------
     # Traversal.
     # ------------------------------------------------------------------
     def instructions(self) -> Iterator[Instr]:

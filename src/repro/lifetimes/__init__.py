@@ -3,9 +3,19 @@
 from repro.lifetimes.intervals import (
     Lifetime,
     LifetimeTable,
+    LinearOrder,
     Range,
     RangeSet,
     compute_lifetimes,
+    compute_linear_order,
 )
 
-__all__ = ["Lifetime", "LifetimeTable", "Range", "RangeSet", "compute_lifetimes"]
+__all__ = [
+    "Lifetime",
+    "LifetimeTable",
+    "LinearOrder",
+    "Range",
+    "RangeSet",
+    "compute_lifetimes",
+    "compute_linear_order",
+]

@@ -233,6 +233,41 @@ class Lifetime:
 
 
 @dataclass(eq=False)
+class LinearOrder:
+    """The linear numbering of a function's instructions (Section 2.1).
+
+    Computed once per function and shared: the lifetime table embeds it,
+    and the analysis manager (:mod:`repro.pm`) caches and transfers it
+    across module clones (``pos`` is keyed by instruction identity, so a
+    clone needs the old-to-new instruction map to reuse it).
+
+    Attributes:
+        linear: Instructions in layout order.
+        pos: Instruction -> linear index (``use point = 2*pos``,
+            ``def point = 2*pos + 1``).
+        block_span: Block label -> (start point, end point), half-open.
+    """
+
+    linear: list[Instr]
+    pos: dict[Instr, int]
+    block_span: dict[str, tuple[int, int]]
+
+
+def compute_linear_order(fn: Function) -> LinearOrder:
+    """Number every instruction of ``fn`` in layout order."""
+    linear: list[Instr] = []
+    pos: dict[Instr, int] = {}
+    block_span: dict[str, tuple[int, int]] = {}
+    for block in fn.blocks:
+        first = len(linear)
+        for instr in block.instrs:
+            pos[instr] = len(linear)
+            linear.append(instr)
+        block_span[block.label] = (2 * first, 2 * len(linear))
+    return LinearOrder(linear, pos, block_span)
+
+
+@dataclass(eq=False)
 class LifetimeTable:
     """Everything the linear-scan allocators need about one function.
 
@@ -305,29 +340,26 @@ class LifetimeTable:
 def compute_lifetimes(fn: Function, machine: MachineDescription,
                       cfg: CFG | None = None,
                       liveness: LivenessInfo | None = None,
-                      loops: LoopInfo | None = None) -> LifetimeTable:
+                      loops: LoopInfo | None = None,
+                      order: LinearOrder | None = None) -> LifetimeTable:
     """Build the :class:`LifetimeTable` with one reverse pass (Section 2.1).
 
-    ``cfg``/``liveness``/``loops`` may be passed in when already computed —
-    the evaluation timings exclude these shared setup analyses, as the
-    paper's Section 3.2 timings do.
+    ``cfg``/``liveness``/``loops``/``order`` may be passed in when already
+    computed — the evaluation timings exclude these shared setup analyses,
+    as the paper's Section 3.2 timings do, and the analysis manager
+    (:mod:`repro.pm`) memoizes them per function.
     """
     cfg = cfg or CFG.build(fn)
     liveness = liveness or compute_liveness(fn, cfg)
     loops = loops or LoopInfo.build(cfg)
+    order = order or compute_linear_order(fn)
 
-    linear: list[Instr] = []
-    pos: dict[Instr, int] = {}
-    block_span: dict[str, tuple[int, int]] = {}
+    linear = order.linear
+    pos = order.pos
+    block_span = order.block_span
     depth_at: list[int] = []
     for block in fn.blocks:
-        first = len(linear)
-        depth = loops.depth_of(block.label)
-        for instr in block.instrs:
-            pos[instr] = len(linear)
-            linear.append(instr)
-            depth_at.append(depth)
-        block_span[block.label] = (2 * first, 2 * len(linear))
+        depth_at.extend([loops.depth_of(block.label)] * len(block.instrs))
 
     raw_temp: dict[Temp, list[tuple[int, int]]] = {}
     raw_phys: dict[PhysReg, list[tuple[int, int]]] = {}

@@ -47,12 +47,30 @@ def _removable(instr: Instr, live_after: set[Temp]) -> bool:
     return dst not in live_after
 
 
-def eliminate_dead_code(fn: Function) -> int:
-    """Remove dead pure instructions from ``fn``; returns removals."""
+#: What a removing DCE round leaves valid: removals never touch labels or
+#: terminators, so the CFG (and with it the loop forest) survives; the
+#: liveness used to pick victims is stale the moment one is deleted.
+_ROUND_PRESERVES = frozenset({"cfg", "loops"})
+
+
+def eliminate_dead_code(fn: Function, analyses=None) -> int:
+    """Remove dead pure instructions from ``fn``; returns removals.
+
+    ``analyses`` (an :class:`repro.pm.analysis.AnalysisManager`) routes
+    the per-round CFG and liveness queries through the session cache: the
+    CFG is computed once for all rounds, and the final round's liveness —
+    valid, since that round removed nothing — is left cached for the
+    allocators.  Without it the pass recomputes both per round, as the
+    seed implementation did.
+    """
     removed_total = 0
     while True:
-        cfg = CFG.build(fn)
-        liveness = compute_liveness(fn, cfg)
+        if analyses is not None:
+            cfg = analyses.cfg(fn)
+            liveness = analyses.liveness(fn)
+        else:
+            cfg = CFG.build(fn)
+            liveness = compute_liveness(fn, cfg)
         removed = 0
         for block in fn.blocks:
             live: set[Temp] = set(liveness.live_out_temps(block.label))
@@ -73,8 +91,11 @@ def eliminate_dead_code(fn: Function) -> int:
         removed_total += removed
         if not removed:
             return removed_total
+        if analyses is not None:
+            analyses.invalidate(fn, preserve=_ROUND_PRESERVES)
 
 
-def eliminate_dead_code_module(module: Module) -> int:
+def eliminate_dead_code_module(module: Module, analyses=None) -> int:
     """Run DCE over every function; returns total removals."""
-    return sum(eliminate_dead_code(fn) for fn in module.functions.values())
+    return sum(eliminate_dead_code(fn, analyses)
+               for fn in module.functions.values())

@@ -111,7 +111,7 @@ def _slot_index(fn: Function) -> dict[StackSlot, int]:
     return slots
 
 
-def _remove_dead_stores(fn: Function) -> int:
+def _remove_dead_stores(fn: Function, analyses=None) -> int:
     """Delete stores to slots that no path reads before overwriting.
 
     Backward union dataflow over stack slots: ``gen`` = slots loaded
@@ -124,7 +124,7 @@ def _remove_dead_stores(fn: Function) -> int:
     index = _slot_index(fn)
     if not index:
         return 0
-    cfg = CFG.build(fn)
+    cfg = analyses.cfg(fn) if analyses is not None else CFG.build(fn)
     gen: dict[str, int] = {}
     kill: dict[str, int] = {}
     for block in fn.blocks:
@@ -160,22 +160,27 @@ def _remove_dead_stores(fn: Function) -> int:
     return removed
 
 
-def cleanup_spill_code(fn: Function) -> SpillCleanupStats:
+def cleanup_spill_code(fn: Function, analyses=None) -> SpillCleanupStats:
     """Run both cleanups to a fixed point (forwarding can kill a load,
-    which can make its store dead)."""
+    which can make its store dead).
+
+    Neither rewrite touches labels or terminators, so a session cache
+    passed as ``analyses`` serves one CFG to every fixed-point round.
+    """
     stats = SpillCleanupStats()
     while True:
         forwarded = _forward_stores(fn)
-        removed = _remove_dead_stores(fn)
+        removed = _remove_dead_stores(fn, analyses)
         stats.loads_forwarded += forwarded
         stats.stores_removed += removed
         if not forwarded and not removed:
             return stats
 
 
-def cleanup_spill_code_module(module: Module) -> SpillCleanupStats:
+def cleanup_spill_code_module(module: Module,
+                              analyses=None) -> SpillCleanupStats:
     """Run the cleanup over every function; returns summed stats."""
     total = SpillCleanupStats()
     for fn in module.functions.values():
-        total = total + cleanup_spill_code(fn)
+        total = total + cleanup_spill_code(fn, analyses)
     return total

@@ -195,11 +195,11 @@ class _DataflowVerifier:
     """Runs the abstract interpretation over one allocated function."""
 
     def __init__(self, fn: Function, machine: MachineDescription,
-                 snapshot: OperandSnapshot):
+                 snapshot: OperandSnapshot, cfg: CFG | None = None):
         self.fn = fn
         self.machine = machine
         self.snapshot = snapshot
-        self.cfg = CFG.build(fn)
+        self.cfg = cfg if cfg is not None else CFG.build(fn)
         self.errors: list[str] = []
 
     # -- state helpers -------------------------------------------------
@@ -358,14 +358,17 @@ class _DataflowVerifier:
 
 
 def verify_dataflow(fn: Function, machine: MachineDescription,
-                    snapshot: OperandSnapshot) -> None:
+                    snapshot: OperandSnapshot,
+                    cfg: CFG | None = None) -> None:
     """Abstractly interpret allocated ``fn``; raise on any dataflow error.
 
     ``snapshot`` must come from :func:`snapshot_function` on the *same*
     function object, taken after any pre-allocation passes (DCE) and
     before the allocator ran.  See the module docstring for the domain.
+    ``cfg`` may supply the (post-allocation) control-flow graph when the
+    caller already has it cached; the verifier never mutates it.
     """
-    errors = _DataflowVerifier(fn, machine, snapshot).run()
+    errors = _DataflowVerifier(fn, machine, snapshot, cfg).run()
     if errors:
         shown = "\n  ".join(errors[:8])
         more = f"\n  ... and {len(errors) - 8} more" if len(errors) > 8 else ""
@@ -375,7 +378,14 @@ def verify_dataflow(fn: Function, machine: MachineDescription,
 
 
 def verify_dataflow_module(module: Module, machine: MachineDescription,
-                           snapshots: dict[str, OperandSnapshot]) -> None:
-    """Run :func:`verify_dataflow` over every function of ``module``."""
+                           snapshots: dict[str, OperandSnapshot],
+                           analyses=None) -> None:
+    """Run :func:`verify_dataflow` over every function of ``module``.
+
+    ``analyses`` (an :class:`repro.pm.analysis.AnalysisManager`) serves
+    each function's post-allocation CFG from the session cache, where the
+    spill-cleanup pass will find it again.
+    """
     for name, fn in module.functions.items():
-        verify_dataflow(fn, machine, snapshots[name])
+        cfg = analyses.cfg(fn) if analyses is not None else None
+        verify_dataflow(fn, machine, snapshots[name], cfg)

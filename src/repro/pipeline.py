@@ -2,44 +2,25 @@
 
 Mirrors the paper's Section 3 setup: dead-code elimination, then register
 allocation, then the move-removing peephole — with everything except the
-allocator held fixed.  ``run_allocator`` works on a deep copy, so the
-same pre-allocation module can be fed to every allocator for a fair
-comparison.
+allocator held fixed.  Since the pass-manager refactor this module is a
+thin facade over :mod:`repro.pm`: ``run_allocator`` opens (or joins) a
+:class:`~repro.pm.session.CompilationSession`, which works on a cheap
+structural clone of the module — never a ``copy.deepcopy`` — so the same
+pre-allocation module can be fed to every allocator for a fair
+comparison, with the setup analyses computed once and shared.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass
-
-from repro.allocators.base import AllocationStats, RegisterAllocator, allocate_module
+from repro.allocators.base import RegisterAllocator
 from repro.ir.module import Module
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseProfiler
 from repro.obs.trace import Tracer
-from repro.passes.dce import eliminate_dead_code_module
-from repro.passes.peephole import remove_redundant_moves_module
-from repro.passes.verify_alloc import (snapshot_module,
-                                       verify_allocation_module,
-                                       verify_dataflow_module)
+from repro.pm.session import CompilationSession, PipelineResult
 from repro.target.machine import MachineDescription
 
-
-@dataclass(eq=False)
-class PipelineResult:
-    """An allocated module plus everything the evaluation reports on it.
-
-    The run's observability objects ride on ``stats``: ``stats.trace``
-    (event tracer), ``stats.profiler`` (per-phase wall clock covering the
-    whole pipeline, not just allocation), ``stats.metrics`` (the counters
-    every layer published into).
-    """
-
-    module: Module
-    stats: AllocationStats
-    dce_removed: int
-    moves_removed: int
-    spill_cleanup: "SpillCleanupStats | None" = None
+__all__ = ["PipelineResult", "run_allocator"]
 
 
 def run_allocator(module: Module, allocator: RegisterAllocator,
@@ -48,8 +29,9 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
                   verify: bool = True, verify_dataflow: bool = False,
                   trace: Tracer | None = None,
                   profiler: PhaseProfiler | None = None,
-                  metrics: MetricsRegistry | None = None) -> PipelineResult:
-    """Copy ``module``, run DCE → allocation → peephole, verify, report.
+                  metrics: MetricsRegistry | None = None,
+                  session: CompilationSession | None = None) -> PipelineResult:
+    """Clone ``module``, run DCE → allocation → peephole, verify, report.
 
     ``spill_cleanup`` additionally runs the post-allocation spill-code
     cleanup the paper sketches as future work (store-to-load forwarding
@@ -66,32 +48,23 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
     ``trace``/``profiler``/``metrics`` plug observability into every
     stage (see :mod:`repro.obs`); defaults are no-op/fresh objects,
     reachable afterwards through the returned ``stats``.
-    """
-    from repro.passes.spillopt import SpillCleanupStats, cleanup_spill_code_module
 
-    prof = profiler or PhaseProfiler()
-    working = copy.deepcopy(module)
-    with prof.phase("pipeline.dce"):
-        dce_removed = eliminate_dead_code_module(working) if dce else 0
-    snapshots = snapshot_module(working) if verify_dataflow else None
-    stats = allocate_module(working, allocator.fresh(), machine,
-                            trace=trace, profiler=prof, metrics=metrics)
-    if snapshots is not None:
-        with prof.phase("pipeline.verify_dataflow"):
-            verify_dataflow_module(working, machine, snapshots)
-    with prof.phase("pipeline.spill_cleanup"):
-        cleanup = (cleanup_spill_code_module(working) if spill_cleanup
-                   else SpillCleanupStats())
-    with prof.phase("pipeline.peephole"):
-        moves_removed = remove_redundant_moves_module(working) if peephole else 0
-    if verify:
-        with prof.phase("pipeline.verify"):
-            verify_allocation_module(working, machine)
-    stats.metrics.bump("pipeline.dce.removed", dce_removed)
-    stats.metrics.bump("pipeline.peephole.moves_removed", moves_removed)
-    if spill_cleanup:
-        stats.metrics.bump("pipeline.spill_cleanup.stores_removed",
-                           cleanup.stores_removed)
-        stats.metrics.bump("pipeline.spill_cleanup.loads_forwarded",
-                           cleanup.loads_forwarded)
-    return PipelineResult(working, stats, dce_removed, moves_removed, cleanup)
+    ``session`` joins an existing compilation session so repeated runs
+    over the same module share one analysis cache and one DCE'd base
+    (how ``repro compare`` and the fuzz grid amortize setup).  Without
+    one, a private session is created for this call — the cache metrics
+    then land in ``metrics`` (when given), so a one-shot run is exactly
+    as observable as before.
+    """
+    if session is None:
+        session = CompilationSession(
+            module, machine,
+            metrics=metrics if metrics is not None else MetricsRegistry())
+    elif session.module is not module:
+        raise ValueError(
+            "run_allocator(session=...) requires the session's own module; "
+            "open a new CompilationSession for a different module")
+    return session.run(allocator, dce=dce, peephole=peephole,
+                       spill_cleanup=spill_cleanup, verify=verify,
+                       verify_dataflow=verify_dataflow, trace=trace,
+                       profiler=profiler, metrics=metrics)

@@ -1,0 +1,118 @@
+"""Batch compilation: fan allocator runs out over a process pool.
+
+Two execution strategies, chosen by ``jobs``:
+
+* **serial** (``jobs <= 1``): every run shares one
+  :class:`~repro.pm.session.CompilationSession`, so the setup analyses
+  are computed once per function and transferred to each run's clone —
+  the cheapest total work.
+* **parallel** (``jobs > 1``): runs are dispatched to worker processes
+  via :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker
+  opens its own session (analysis caches are per-process), trading
+  repeated setup for wall-clock speedup on multi-function batches.
+
+Both strategies produce *byte-identical* allocated modules: the
+allocators are deterministic, sessions only change where analyses are
+computed (never their values — the transfer contract), and
+``Executor.map`` preserves submission order.  CI enforces this with
+``tools/check_batch_determinism.py``.
+
+Workers are top-level functions and payloads are plain picklable data
+(modules, machine descriptions, allocator *names* — never allocator
+objects or tracers), so the pool works under any start method; tracing
+callers must stay serial, and :func:`compare_allocators` enforces that.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.allocators import ALLOCATOR_FACTORIES, make_allocator
+from repro.ir.module import Module
+from repro.ir.printer import print_module
+from repro.obs.trace import Tracer
+from repro.pm.session import CompilationSession
+from repro.sim import simulate
+from repro.target.machine import MachineDescription
+
+
+def run_batch(worker: Callable[[Any], Any], payloads: Sequence[Any], *,
+              jobs: int = 1) -> list[Any]:
+    """Apply ``worker`` to every payload; results in payload order.
+
+    ``jobs <= 1`` (or a single payload) runs inline — no pool, no
+    pickling, exceptions propagate directly.  Otherwise up to ``jobs``
+    worker processes run concurrently; ``worker`` must be a module-level
+    function and the payloads picklable.  A worker exception propagates
+    to the caller (raised by ``Executor.map``), cancelling the batch.
+    """
+    payloads = list(payloads)
+    if jobs <= 1 or len(payloads) <= 1:
+        return [worker(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(payloads))) as pool:
+        return list(pool.map(worker, payloads))
+
+
+@dataclass
+class CompareCell:
+    """One allocator's row of the Table-1-style comparison — plain data,
+    safe to ship back from a worker process.
+
+    ``module_text`` is the printed allocated module: the determinism
+    check compares these byte-for-byte between serial and parallel runs
+    (timing fields obviously differ run to run, so they are excluded
+    from any identity claim).
+    """
+
+    allocator: str
+    dynamic_instructions: int
+    cycles: int
+    spill_fraction: float
+    alloc_seconds: float
+    output: list
+    result: int | float | None
+    module_text: str
+
+
+def _cell(session: CompilationSession, name: str, spill_cleanup: bool,
+          trace: Tracer | None = None) -> CompareCell:
+    result = session.run(make_allocator(name), spill_cleanup=spill_cleanup,
+                         trace=trace)
+    outcome = simulate(result.module, session.machine)
+    return CompareCell(
+        allocator=name,
+        dynamic_instructions=outcome.dynamic_instructions,
+        cycles=outcome.cycles,
+        spill_fraction=outcome.spill_fraction(),
+        alloc_seconds=result.stats.alloc_seconds,
+        output=list(outcome.output),
+        result=outcome.result,
+        module_text=print_module(result.module))
+
+
+def _compare_worker(payload) -> CompareCell:
+    """Process-pool entry: one allocator on a private session."""
+    module, machine, name, spill_cleanup = payload
+    return _cell(CompilationSession(module, machine), name, spill_cleanup)
+
+
+def compare_allocators(module: Module, machine: MachineDescription, *,
+                       names: Sequence[str] | None = None,
+                       spill_cleanup: bool = False, jobs: int = 1,
+                       trace: Tracer | None = None) -> list[CompareCell]:
+    """Run every named allocator over ``module``; one cell per allocator.
+
+    The workhorse behind ``repro compare`` / ``repro bench``.  With
+    ``jobs > 1`` and no tracer, allocators run in parallel worker
+    processes; otherwise they share one serial session (a tracer pins the
+    run serial — sinks hold open streams that cannot cross processes).
+    Cells come back in ``names`` order under either strategy.
+    """
+    names = list(names if names is not None else ALLOCATOR_FACTORIES)
+    if jobs > 1 and trace is None and len(names) > 1:
+        payloads = [(module, machine, name, spill_cleanup) for name in names]
+        return run_batch(_compare_worker, payloads, jobs=jobs)
+    session = CompilationSession(module, machine)
+    return [_cell(session, name, spill_cleanup, trace) for name in names]

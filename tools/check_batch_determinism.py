@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Check that parallel batch compilation is byte-identical to serial.
+
+Runs the four-allocator comparison over one or more benchmark analogs
+twice — once serially (``jobs=1``, one shared compilation session) and
+once through the process pool (``jobs=2``) — and diffs every cell:
+allocated module text (byte-for-byte), simulated output, dynamic
+instruction and cycle counts, and spill fraction.  Timing fields are
+deliberately ignored; everything else must match exactly, or the batch
+driver has a nondeterminism bug.
+
+CI runs this on the ``tiny`` machine after the batch smoke test.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_batch_determinism.py [ANALOG ...]
+
+Defaults to the ``wc`` and ``compress`` analogs.  Exit status 0 on
+byte-identical results, 1 with a field-by-field report otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.pm.batch import compare_allocators
+from repro.target import tiny
+from repro.workloads.programs import PROGRAM_NAMES, build_program
+
+#: Fields that must agree between serial and parallel cells (everything
+#: except wall-clock ``alloc_seconds``).
+CHECKED_FIELDS = ("allocator", "dynamic_instructions", "cycles",
+                  "spill_fraction", "output", "result", "module_text")
+
+
+def check_analog(name: str) -> list[str]:
+    machine = tiny(8, 8)
+    module = build_program(name, machine)
+    serial = compare_allocators(module, machine, jobs=1)
+    parallel = compare_allocators(module, machine, jobs=2)
+    errors = []
+    if len(serial) != len(parallel):
+        return [f"{name}: {len(serial)} serial cells vs "
+                f"{len(parallel)} parallel"]
+    for s, p in zip(serial, parallel):
+        for field in CHECKED_FIELDS:
+            sv, pv = getattr(s, field), getattr(p, field)
+            if sv != pv:
+                shown = (f"{sv!r} != {pv!r}" if field != "module_text"
+                         else "allocated module text differs")
+                errors.append(f"{name}/{s.allocator}: {field}: {shown}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    analogs = argv or ["wc", "compress"]
+    unknown = [a for a in analogs if a not in PROGRAM_NAMES]
+    if unknown:
+        print(f"unknown analog(s): {', '.join(unknown)}; choose from "
+              f"{', '.join(PROGRAM_NAMES)}", file=sys.stderr)
+        return 2
+    failures = []
+    for name in analogs:
+        errors = check_analog(name)
+        failures.extend(errors)
+        status = "ok" if not errors else f"{len(errors)} mismatch(es)"
+        print(f"{name}: serial vs parallel: {status}")
+    for line in failures:
+        print(f"  {line}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
