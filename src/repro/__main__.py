@@ -9,6 +9,9 @@ Subcommands:
                           comparison;
 * ``bench NAME``        — the same comparison on a built-in benchmark
                           analog (``python -m repro bench wc``);
+                          ``bench --perf`` instead runs the tracked
+                          wall-clock suite (``tools/perf_bench.py``,
+                          see docs/PERFORMANCE.md);
 * ``trace FILE.mc``     — stream the allocator's decision events
                           (assigns, evictions, reloads, resolution
                           fixes) as they happen, plus a count summary;
@@ -150,6 +153,20 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.workloads.programs import PROGRAM_NAMES, build_program
 
+    if args.perf:
+        # The tracked wall-clock suite (tools/perf_bench.py): hot-kernel
+        # and end-to-end medians, reusable as the CI regression gate.
+        import os
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__),
+                                        "..", "..", "tools"))
+        import perf_bench
+        return perf_bench.main(
+            (["--quick"] if args.quick else [])
+            + ["--reps", str(args.reps)]
+            + (["--verbose"] if args.verbose else []))
+    if args.name is None:
+        raise SystemExit("bench: an analog name is required "
+                         "(or use --perf for the wall-clock suite)")
     if args.name not in PROGRAM_NAMES:
         raise SystemExit(f"unknown analog {args.name!r}; choose from "
                          f"{', '.join(PROGRAM_NAMES)}")
@@ -295,8 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
     compare_p.set_defaults(func=cmd_compare)
 
     bench_p = sub.add_parser("bench",
-                             help="compare allocators on a built-in analog")
-    bench_p.add_argument("name")
+                             help="compare allocators on a built-in analog "
+                                  "(or --perf for the wall-clock suite)")
+    bench_p.add_argument("name", nargs="?", default=None)
+    bench_p.add_argument("--perf", action="store_true",
+                         help="run the tracked perf-bench suite "
+                              "(tools/perf_bench.py) instead of one analog")
+    bench_p.add_argument("--quick", action="store_true",
+                         help="with --perf: the smaller CI-smoke subset")
+    bench_p.add_argument("--reps", type=int, default=3, metavar="N",
+                         help="with --perf: reps per benchmark (default: 3)")
+    bench_p.add_argument("--verbose", action="store_true",
+                         help="with --perf: progress on stderr")
     common(bench_p, with_allocator=False)
     jobs_option(bench_p)
     bench_p.set_defaults(func=cmd_bench)

@@ -173,41 +173,57 @@ class _ClassColoring:
     def _build(self) -> None:
         liveness = self.shared.liveness
         loops = self.shared.loops
-        caller_saved = list(self.machine.caller_saved(self.regclass))
+        graph = self.graph
+        node_index = graph.index
+        cost = self.cost
+        caller_saved = self._class_regs(self.machine.caller_saved(self.regclass))
+        caller_saved_mask = 0
+        for reg in caller_saved:
+            caller_saved_mask |= 1 << node_index[reg]
         in_code = set(self.initial)
         depth_weight = {}
         for block in self.fn.blocks:
             depth = loops.depth_of(block.label)
             depth_weight[block.label] = float(10 ** min(depth, 12))
 
+        # The live set is an int bitmask over graph node indices: set
+        # algebra collapses to int ops, and a def's edges land in bulk
+        # against the whole mask (``add_edges_from_mask``) instead of
+        # pair by pair.  Bits ascend by node index, so edge insertion
+        # order is index order — independent of hash randomization,
+        # exactly as the old sorted-set iteration guaranteed.
         for block in self.fn.blocks:
             weight = depth_weight[block.label]
-            live: set[Node] = {t for t in liveness.live_out_temps(block.label)
-                               if t.regclass is self.regclass and t in in_code}
+            live_mask = 0
+            for t in liveness.live_out_temps(block.label):
+                if t.regclass is self.regclass and t in in_code:
+                    live_mask |= 1 << node_index[t]
             for instr in reversed(block.instrs):
                 defs = self._class_regs(instr.defs)
                 uses = self._class_regs(instr.uses)
+                uses_mask = 0
+                for u in uses:
+                    uses_mask |= 1 << node_index[u]
                 for node in defs + uses:
                     if isinstance(node, Temp):
-                        self.cost[node] = self.cost.get(node, 0.0) + weight
+                        cost[node] = cost.get(node, 0.0) + weight
                 if instr.is_move and defs and uses:
-                    live -= set(uses)
+                    live_mask &= ~uses_mask
                     for node in (*defs, *uses):
                         self.move_list.setdefault(node, _OrderedSet()).add(instr)
                     self.worklist_moves.add(instr)
-                clobbers = list(defs)
+                clobbers = defs
+                clobber_mask = 0
+                for d in defs:
+                    clobber_mask |= 1 << node_index[d]
                 if instr.is_call:
-                    clobbers.extend(caller_saved)
-                live.update(clobbers)
-                # ``live`` is a plain set; edge insertion order decides
-                # adjacency-list order, so iterate it by graph index to
-                # keep the coloring independent of hash randomization.
-                node_index = self.graph.index
+                    clobbers = defs + caller_saved
+                    clobber_mask |= caller_saved_mask
+                live_mask |= clobber_mask
                 for d in clobbers:
-                    for l in sorted(live, key=node_index.__getitem__):
-                        self.graph.add_edge(l, d)
-                live.difference_update(clobbers)
-                live.update(uses)
+                    graph.add_edges_from_mask(d, live_mask)
+                live_mask &= ~clobber_mask
+                live_mask |= uses_mask
 
     def _make_worklists(self) -> None:
         for t in self.initial:

@@ -65,14 +65,18 @@ def _block_local_sets(fn: Function) -> tuple[dict[str, set[Temp]], dict[str, set
     return ue, kill
 
 
-def global_temps(fn: Function) -> list[Temp]:
+def global_temps(fn: Function,
+                 ue: dict[str, set[Temp]] | None = None) -> list[Temp]:
     """Temporaries upward exposed in some block, in deterministic order.
 
     These are exactly the temporaries whose liveness crosses a block
     boundary (assuming every use is reached by some def; uninitialized
-    reads also land here, conservatively).
+    reads also land here, conservatively).  ``ue`` may be passed when the
+    upward-exposed sets are already in hand (as in
+    :func:`compute_liveness`) to avoid rescanning every instruction.
     """
-    ue, _ = _block_local_sets(fn)
+    if ue is None:
+        ue, _ = _block_local_sets(fn)
     out: dict[Temp, None] = {}
     for block in fn.blocks:
         for t in sorted(ue[block.label]):
@@ -84,7 +88,7 @@ def compute_liveness(fn: Function, cfg: CFG | None = None) -> LivenessInfo:
     """Solve backward liveness over the global temporaries of ``fn``."""
     cfg = cfg or CFG.build(fn)
     ue, kill = _block_local_sets(fn)
-    index = TempIndex.of(global_temps(fn))
+    index = TempIndex.of(global_temps(fn, ue))
     gen = {label: index.mask_of(temps) for label, temps in ue.items()}
     kill_masks = {label: index.mask_of(temps) for label, temps in kill.items()}
     result = solve(DataflowProblem(cfg, Direction.BACKWARD, gen, kill_masks))

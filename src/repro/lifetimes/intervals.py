@@ -71,60 +71,116 @@ class RangeSet:
     All allocator hole logic reduces to three queries: does the set cover
     a point, where does coverage next begin after a point, and does the
     set intersect a candidate interval.
+
+    Internally the set is two parallel int lists (``_starts``/``_ends``)
+    rather than a tuple of :class:`Range` objects — lifetime construction
+    builds millions of these across a batch run, and flat lists keep both
+    the build (no per-range object allocation) and the bisect queries (no
+    attribute loads) cheap.  :class:`Range` objects appear only at the
+    iteration boundary (``iter``/``ranges``/``holes``), built lazily.
     """
 
-    __slots__ = ("ranges", "_starts")
+    __slots__ = ("_starts", "_ends", "_ranges")
 
     def __init__(self, raw: list[tuple[int, int]] | None = None):
-        merged: list[Range] = []
+        starts: list[int] = []
+        ends: list[int] = []
         for start, end in sorted(raw or []):
             if start >= end:
                 continue
-            if merged and start <= merged[-1].end:
-                if end > merged[-1].end:
-                    merged[-1] = Range(merged[-1].start, end)
+            if ends and start <= ends[-1]:
+                if end > ends[-1]:
+                    ends[-1] = end
             else:
-                merged.append(Range(start, end))
-        self.ranges: tuple[Range, ...] = tuple(merged)
-        self._starts = [r.start for r in self.ranges]
+                starts.append(start)
+                ends.append(end)
+        self._starts = starts
+        self._ends = ends
+        self._ranges: tuple[Range, ...] | None = None
+
+    @classmethod
+    def _from_flat(cls, starts: list[int], ends: list[int]) -> "RangeSet":
+        """Adopt already-normalized parallel lists (internal fast path)."""
+        rs = cls.__new__(cls)
+        rs._starts = starts
+        rs._ends = ends
+        rs._ranges = None
+        return rs
+
+    @classmethod
+    def from_reverse_sweep(cls, raw: list[tuple[int, int]]) -> "RangeSet":
+        """Normalize ranges recorded by a backward walk (non-increasing
+        starts), merging in one reverse pass with no sort.
+
+        This is how :func:`compute_lifetimes` emits every temporary's raw
+        ranges; should the input turn out unsorted after all, it falls
+        back to the generic sorting constructor rather than misbehave.
+        """
+        starts: list[int] = []
+        ends: list[int] = []
+        for i in range(len(raw) - 1, -1, -1):
+            start, end = raw[i]
+            if start >= end:
+                continue
+            if ends:
+                if start < starts[-1]:
+                    return cls(raw)
+                if start <= ends[-1]:
+                    if end > ends[-1]:
+                        ends[-1] = end
+                    continue
+            starts.append(start)
+            ends.append(end)
+        return cls._from_flat(starts, ends)
+
+    @property
+    def ranges(self) -> tuple[Range, ...]:
+        """The ranges as :class:`Range` objects (materialized lazily)."""
+        ranges = self._ranges
+        if ranges is None:
+            ranges = self._ranges = tuple(
+                Range(s, e) for s, e in zip(self._starts, self._ends))
+        return ranges
 
     def __bool__(self) -> bool:
-        return bool(self.ranges)
+        return bool(self._starts)
 
     def __len__(self) -> int:
-        return len(self.ranges)
+        return len(self._starts)
 
     def __iter__(self):
         return iter(self.ranges)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, RangeSet) and self.ranges == other.ranges
+        return (isinstance(other, RangeSet) and self._starts == other._starts
+                and self._ends == other._ends)
 
     def __hash__(self) -> int:
-        return hash(self.ranges)
+        return hash((tuple(self._starts), tuple(self._ends)))
 
     @property
     def start(self) -> int:
         """First covered point (raises on an empty set)."""
-        return self.ranges[0].start
+        return self._starts[0]
 
     @property
     def end(self) -> int:
         """One past the last covered point (raises on an empty set)."""
-        return self.ranges[-1].end
+        return self._ends[-1]
 
     def covers(self, point: int) -> bool:
         """True when ``point`` lies inside some range."""
         i = bisect_right(self._starts, point) - 1
-        return i >= 0 and point < self.ranges[i].end
+        return i >= 0 and point < self._ends[i]
 
     def next_covered_at_or_after(self, point: int) -> int | None:
         """The smallest covered point >= ``point``, or ``None``."""
-        if self.covers(point):
+        starts = self._starts
+        i = bisect_right(starts, point)
+        if i > 0 and point < self._ends[i - 1]:
             return point
-        i = bisect_right(self._starts, point)
-        if i < len(self.ranges):
-            return self.ranges[i].start
+        if i < len(starts):
+            return starts[i]
         return None
 
     def overlaps_interval(self, start: int, end: int) -> bool:
@@ -136,12 +192,14 @@ class RangeSet:
 
     def overlaps(self, other: "RangeSet") -> bool:
         """True when the two sets share at least one point (merge walk)."""
-        a, b = self.ranges, other.ranges
+        a_starts, a_ends = self._starts, self._ends
+        b_starts, b_ends = other._starts, other._ends
         i = j = 0
-        while i < len(a) and j < len(b):
-            if a[i].overlaps(b[j]):
+        na, nb = len(a_starts), len(b_starts)
+        while i < na and j < nb:
+            if a_starts[i] < b_ends[j] and b_starts[j] < a_ends[i]:
                 return True
-            if a[i].end <= b[j].start:
+            if a_ends[i] <= b_starts[j]:
                 i += 1
             else:
                 j += 1
@@ -151,20 +209,17 @@ class RangeSet:
         """The subset of the ranges at or after ``start`` (a straddling
         range is trimmed to begin at ``start``)."""
         i = bisect_right(self._starts, start)
-        kept = list(self.ranges[i:])
-        if i > 0 and self.ranges[i - 1].end > start:
-            kept.insert(0, Range(start, self.ranges[i - 1].end))
-        clipped = RangeSet()
-        clipped.ranges = tuple(kept)
-        clipped._starts = [r.start for r in kept]
-        return clipped
+        starts = self._starts[i:]
+        ends = self._ends[i:]
+        if i > 0 and self._ends[i - 1] > start:
+            starts.insert(0, start)
+            ends.insert(0, self._ends[i - 1])
+        return RangeSet._from_flat(starts, ends)
 
     def holes(self) -> list[Range]:
         """Maximal uncovered gaps strictly between the first and last range."""
-        gaps: list[Range] = []
-        for prev, nxt in zip(self.ranges, self.ranges[1:]):
-            gaps.append(Range(prev.end, nxt.start))
-        return gaps
+        return [Range(end, start) for end, start
+                in zip(self._ends, self._starts[1:])]
 
     def __str__(self) -> str:
         return " ".join(str(r) for r in self.ranges) or "(empty)"
@@ -410,7 +465,12 @@ def compute_lifetimes(fn: Function, machine: MachineDescription,
             raw = raw_temp if isinstance(reg, Temp) else raw_phys
             raw.setdefault(reg, []).append((bstart, end))
 
-    temps = {t: Lifetime(t, RangeSet(ranges)) for t, ranges in raw_temp.items()}
+    # Temp ranges come out of the reverse sweep with non-increasing
+    # starts, so they normalize in one reverse pass with no sort; phys
+    # ranges interleave forward-sweep call clobbers and keep the generic
+    # sorting constructor.
+    temps = {t: Lifetime(t, RangeSet.from_reverse_sweep(ranges))
+             for t, ranges in raw_temp.items()}
     reserved = {r: RangeSet(ranges) for r, ranges in raw_phys.items()}
     return LifetimeTable(
         fn=fn,

@@ -1,4 +1,4 @@
-"""The executing simulator.
+"""The executing simulator (pre-decoded interpreter).
 
 Semantics notes:
 
@@ -36,13 +36,34 @@ Opt-in strictness (off by default, used by the fuzz harness):
   Tracked per register, not by value, so a program that legitimately
   computes the poison constant is unaffected; the trap does not follow
   poison through memory (a stored poison value reloads silently).
+
+Execution model
+---------------
+
+The module-walking interpreter lives in
+:mod:`repro.sim.reference` (tests only).  This one *pre-decodes*: the
+first time a function is called, every block is compiled once into a
+flat tuple program — one ``(ctl, handler, cycles, op, spill_key, args)``
+entry per instruction, with the opcode dispatched through a table of
+bound handler methods and every operand resolved at decode time into its
+slot kind (temporary / physical register / stack slot / immediate /
+branch target).  The per-instruction loop then touches no ``isinstance``,
+no dict-of-dicts block lookup, and no signature re-inspection; simulated
+calls push entries on an explicit frame stack instead of recursing one
+Python frame per call, so call depth is bounded by ``MAX_CALL_DEPTH``
+alone, not by the host interpreter's recursion limit.
+
+Decoded programs are cached per function for the lifetime of the
+``Simulator`` (a module must not be mutated mid-simulation, which the
+pipeline never does); ``decode.compiled`` / ``decode.cached`` count
+compiles and cache hits and publish as ``sim.decode.*`` metrics.
 """
 
 from __future__ import annotations
 
-import sys
+import operator
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
@@ -53,13 +74,9 @@ from repro.sim.errors import SimulationError
 from repro.target.machine import MachineDescription, cycle_cost
 
 _MASK64 = (1 << 64) - 1
+_HALF64 = 1 << 63
+_TWO64 = 1 << 64
 
-# The simulator recurses one Python call per simulated call; make sure the
-# interpreter allows the full simulated depth (set once, at import, so test
-# frameworks that snapshot the limit see a stable value).
-_NEEDED_RECURSION = 2000 * 3 + 200
-if sys.getrecursionlimit() < _NEEDED_RECURSION:
-    sys.setrecursionlimit(_NEEDED_RECURSION)
 _GPR_POISON = -6148914691236517206  # 0xAAAA...AAAA as a signed 64-bit value
 _FPR_POISON = -2.462743370480293e103
 
@@ -82,6 +99,9 @@ class SimOutcome:
         op_counts: Dynamic count per opcode.
         spill_counts: Dynamic count per (phase, kind) for allocator-
             inserted instructions — Figure 3's raw data.
+        decode_compiled: Functions the simulator pre-decoded (0 for the
+            reference interpreter).
+        decode_cached: Calls served from the decode cache.
     """
 
     output: list[int | float]
@@ -90,6 +110,8 @@ class SimOutcome:
     cycles: int
     op_counts: Counter
     spill_counts: Counter
+    decode_compiled: int = 0
+    decode_cached: int = 0
 
     @property
     def spill_instructions(self) -> int:
@@ -113,6 +135,8 @@ class SimOutcome:
         metrics.bump("sim.dynamic.instructions", self.dynamic_instructions)
         metrics.bump("sim.dynamic.cycles", self.cycles)
         metrics.bump("sim.dynamic.spill_instructions", self.spill_instructions)
+        metrics.bump("sim.decode.compiled", self.decode_compiled)
+        metrics.bump("sim.decode.cached", self.decode_cached)
         for op, count in self.op_counts.items():
             metrics.bump(f"sim.op.{op.name.lower()}", count)
         for (phase, kind), count in self.spill_counts.items():
@@ -121,17 +145,62 @@ class SimOutcome:
 
 
 class _Frame:
-    """Per-activation state: temporaries, stack slots, saved callee-saves."""
+    """Per-activation state: temporaries, stack slots, saved callee-saves.
 
-    __slots__ = ("fn", "temps", "slots", "entry_callee_saved", "block", "index")
+    Control position (current decoded block + index) lives in the run
+    loop's locals and on the explicit call stack, not here.
+    """
+
+    __slots__ = ("fn", "temps", "slots", "entry_callee_saved")
 
     def __init__(self, fn: Function):
         self.fn = fn
         self.temps: dict[Temp, int | float] = {}
         self.slots: dict[StackSlot, int | float] = {}
         self.entry_callee_saved: dict[PhysReg, int | float] = {}
-        self.block = fn.entry
-        self.index = 0
+
+
+# Control tags of decoded entries (entry[0]).
+_CTL_STRAIGHT = 0
+_CTL_JMP = 1
+_CTL_BR = 2
+_CTL_CALL = 3
+_CTL_RET = 4
+_CTL_FAULT = 5  # fell-off-block sentinel / unknown branch target
+
+# Operand-spec kinds (spec[0]): how a register operand is accessed.
+_K_TEMP = 0    # (0, temp, class_default)  reads; (0, temp) writes
+_K_PHYS = 1    # (1, physreg)              direct register-file access
+_K_GUARD = 2   # (2, physreg)              + poison trap/untrack bookkeeping
+_K_BAD = 3     # (3, message)              faults when executed
+
+#: Dense opcode numbering for the run loop's histogram: counting into a
+#: flat int list is markedly cheaper than a per-instruction Counter[Op]
+#: update; the histogram folds back into the Counter on loop exit.
+_OP_LIST = tuple(Op)
+_OP_INDEX = {op: i for i, op in enumerate(_OP_LIST)}
+
+#: Two-operand integer ALU ops sharing one handler (wrap applied after).
+_INT_BIN = {
+    Op.ADD: operator.add,
+    Op.SUB: operator.sub,
+    Op.MUL: operator.mul,
+    Op.AND: operator.and_,
+    Op.OR: operator.or_,
+    Op.XOR: operator.xor,
+    Op.SHL: lambda a, b: a << (b % 64),
+    Op.SHR: lambda a, b: a >> (b % 64),
+}
+#: Comparisons producing 0/1 in a GPR (both files; operands pre-typed).
+_CMP_BIN = {
+    Op.SLT: operator.lt, Op.SLE: operator.le,
+    Op.SEQ: operator.eq, Op.SNE: operator.ne,
+    Op.FSLT: operator.lt, Op.FSLE: operator.le,
+    Op.FSEQ: operator.eq, Op.FSNE: operator.ne,
+}
+#: Unwrapped float arithmetic (FDIV is separate: zero-divisor fault).
+_FLT_BIN = {Op.FADD: operator.add, Op.FSUB: operator.sub,
+            Op.FMUL: operator.mul}
 
 
 class Simulator:
@@ -161,36 +230,197 @@ class Simulator:
         self.steps = 0
         self.cycles = 0
         self.op_counts: Counter = Counter()
+        self._op_hist: list[int] = [0] * len(_OP_LIST)
         self.spill_counts: Counter = Counter()
-        self._blocks_cache: dict[str, dict[str, object]] = {}
+        #: Decoded program per function name, filled lazily at first call.
+        self._decoded: dict[str, list] = {}
+        self.decode_compiled = 0
+        self.decode_cached = 0
+        #: Caller-saved registers with their poison values, both classes —
+        #: fixed per machine, shared by every call-site decode.
+        self._poison_all: tuple[tuple[PhysReg, int | float], ...] = tuple(
+            [(r, _GPR_POISON) for r in machine.caller_saved(RegClass.GPR)]
+            + [(r, _FPR_POISON) for r in machine.caller_saved(RegClass.FPR)])
+        self._callee_saved_all: tuple[PhysReg, ...] = (
+            machine.callee_saved(RegClass.GPR)
+            + machine.callee_saved(RegClass.FPR))
 
     # ------------------------------------------------------------------
-    # Register/memory access.
+    # Decoding.
     # ------------------------------------------------------------------
-    def _read(self, frame: _Frame, reg: Reg) -> int | float:
+    def _entry_code(self, fn: Function) -> list:
+        """The decoded entry block of ``fn`` (compiling on first call)."""
+        code = self._decoded.get(fn.name)
+        if code is not None:
+            self.decode_cached += 1
+            return code
+        self.decode_compiled += 1
+        codes: dict[str, list] = {b.label: [] for b in fn.blocks}
+        for block in fn.blocks:
+            out = codes[block.label]
+            for instr in block.instrs:
+                out.append(self._decode_instr(fn, instr, codes))
+            # Fell-off guard: a block without a terminator faults exactly
+            # where the reference interpreter does.
+            out.append((_CTL_FAULT, None, 0, None, None,
+                        (SimulationError,
+                         f"{fn.name}/{block.label}: fell off block")))
+        entry = codes[fn.entry.label]
+        self._decoded[fn.name] = entry
+        return entry
+
+    @staticmethod
+    def _target(label: str, codes: dict[str, list]) -> list:
+        """The decoded code of branch target ``label``.  An unknown label
+        becomes a sentinel program raising the same ``KeyError`` the
+        module-walking interpreter's block lookup would — and only when
+        the branch is actually taken to it."""
+        code = codes.get(label)
+        if code is None:
+            return [(_CTL_FAULT, None, 0, None, None, (KeyError, label))]
+        return code
+
+    def _read_spec(self, reg: Reg) -> tuple:
+        """Pre-resolve a use operand into its slot kind."""
         if isinstance(reg, Temp):
             default: int | float = 0 if reg.regclass is RegClass.GPR else 0.0
-            return frame.temps.get(reg, default)
-        try:
-            value = self.regs[reg]
-        except KeyError:
-            raise SimulationError(f"register {reg} does not exist on "
-                                  f"{self.machine.name}") from None
-        if self.trap_poison and reg in self._poisoned:
-            raise SimulationError(
-                f"read of caller-saved {reg} still poisoned by a call")
-        return value
+            return (_K_TEMP, reg, default)
+        if reg not in self.regs:
+            return (_K_BAD, f"register {reg} does not exist on "
+                            f"{self.machine.name}")
+        if self.trap_poison:
+            return (_K_GUARD, reg)
+        return (_K_PHYS, reg)
 
-    def _write(self, frame: _Frame, reg: Reg, value: int | float) -> None:
+    def _write_spec(self, reg: Reg) -> tuple:
+        """Pre-resolve a def operand into its slot kind."""
         if isinstance(reg, Temp):
-            frame.temps[reg] = value
-        else:
-            if reg not in self.regs:
-                raise SimulationError(f"register {reg} does not exist on "
-                                      f"{self.machine.name}")
+            return (_K_TEMP, reg)
+        if reg not in self.regs:
+            return (_K_BAD, f"register {reg} does not exist on "
+                            f"{self.machine.name}")
+        # Writes un-poison; only worth tracking when reads can trap.
+        return (_K_GUARD, reg) if self.trap_poison else (_K_PHYS, reg)
+
+    def _decode_instr(self, fn: Function, instr: Instr,
+                      codes: dict[str, list]) -> tuple:
+        """Compile one instruction into its flat decoded entry."""
+        op = instr.op
+        cyc = cycle_cost(op)
+        spill_key = (None if instr.spill_phase is None
+                     else (instr.spill_phase, instr.spill_kind()))
+        fname = fn.name
+
+        op_i = _OP_INDEX[op]
+
+        def entry(ctl: int, handler, args) -> tuple:
+            return (ctl, handler, cyc, op_i, spill_key, args)
+
+        if op is Op.JMP:
+            return entry(_CTL_JMP, None, self._target(instr.targets[0], codes))
+        if op is Op.BR:
+            return entry(_CTL_BR, None,
+                         (self._read_spec(instr.uses[0]),
+                          self._target(instr.targets[0], codes),
+                          self._target(instr.targets[1], codes)))
+        if op is Op.RET:
+            spec = self._read_spec(instr.uses[0]) if instr.uses else None
+            return entry(_CTL_RET, None, spec)
+        if op is Op.CALL:
+            callee = self.module.functions.get(instr.callee)
+            skip = set(instr.defs)
+            poison = (tuple((reg, value) for reg, value in self._poison_all
+                            if reg not in skip)
+                      if self.poison_calls else ())
+            defs = tuple(self._write_spec(d) for d in instr.defs)
+            return entry(_CTL_CALL, None,
+                         (callee, instr.callee, poison, defs, fname))
+
+        handler, args = self._decode_straightline(fname, instr)
+        return entry(_CTL_STRAIGHT, handler, args)
+
+    def _decode_straightline(self, fname: str, instr: Instr):
+        """Pick the bound handler + pre-resolved args for one opcode."""
+        op = instr.op
+        if op is Op.LI or op is Op.FLI:
+            return self._h_imm, (instr.imm, self._write_spec(instr.defs[0]))
+        if op is Op.MOV or op is Op.FMOV:
+            return self._h_mov, (self._read_spec(instr.uses[0]),
+                                 self._write_spec(instr.defs[0]))
+        if op is Op.PRINT:
+            return self._h_print, (self._read_spec(instr.uses[0]),)
+        if op is Op.NOP:
+            return self._h_nop, ()
+        if op is Op.LDS:
+            return self._h_lds, (instr.slot,
+                                 self._write_spec(instr.defs[0]), fname)
+        if op is Op.STS:
+            return self._h_sts, (self._read_spec(instr.uses[0]), instr.slot)
+        if op is Op.LD or op is Op.FLD:
+            cls = RegClass.GPR if op is Op.LD else RegClass.FPR
+            return self._h_load, (self._read_spec(instr.uses[0]), instr.imm,
+                                  cls, self._write_spec(instr.defs[0]), fname)
+        if op is Op.ST or op is Op.FST:
+            return self._h_store, (self._read_spec(instr.uses[0]),
+                                   self._read_spec(instr.uses[1]),
+                                   instr.imm, fname)
+        if op is Op.ADDI:
+            return self._h_addi, (self._read_spec(instr.uses[0]), instr.imm,
+                                  self._write_spec(instr.defs[0]))
+        if op in (Op.NEG, Op.NOT, Op.FNEG, Op.ITOF, Op.FTOI):
+            unary = {Op.NEG: self._h_neg, Op.NOT: self._h_not,
+                     Op.FNEG: self._h_fneg, Op.ITOF: self._h_itof,
+                     Op.FTOI: self._h_ftoi}[op]
+            return unary, (self._read_spec(instr.uses[0]),
+                           self._write_spec(instr.defs[0]), fname)
+        binargs = (self._read_spec(instr.uses[0]),
+                   self._read_spec(instr.uses[1]),
+                   self._write_spec(instr.defs[0]))
+        fnop = _INT_BIN.get(op)
+        if fnop is not None:
+            return self._h_ibin, (fnop, *binargs)
+        fnop = _CMP_BIN.get(op)
+        if fnop is not None:
+            return self._h_cmp, (fnop, *binargs)
+        fnop = _FLT_BIN.get(op)
+        if fnop is not None:
+            return self._h_fbin, (fnop, *binargs)
+        if op is Op.DIV or op is Op.REM:
+            which = "division" if op is Op.DIV else "remainder"
+            handler = self._h_div if op is Op.DIV else self._h_rem
+            return handler, (*binargs, f"{fname}: {which} by zero")
+        if op is Op.FDIV:
+            return self._h_fdiv, (*binargs,
+                                  f"{fname}: float division by zero")
+        raise SimulationError(
+            f"{fname}: unimplemented opcode {op}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Operand access: the slow (guarded) paths.  The fast kinds are
+    # inlined into every handler.
+    # ------------------------------------------------------------------
+    def _read_guard(self, spec) -> int | float:
+        kind = spec[0]
+        if kind == _K_GUARD:
+            reg = spec[1]
+            if reg in self._poisoned:
+                raise SimulationError(
+                    f"read of caller-saved {reg} still poisoned by a call")
+            return self.regs[reg]
+        raise SimulationError(spec[1])  # _K_BAD
+
+    def _write_guard(self, spec, value) -> None:
+        kind = spec[0]
+        if kind == _K_GUARD:
+            reg = spec[1]
             self.regs[reg] = value
             self._poisoned.discard(reg)
+            return
+        raise SimulationError(spec[1])  # _K_BAD
 
+    # ------------------------------------------------------------------
+    # Heap.
+    # ------------------------------------------------------------------
     def _heap_load(self, address: int, cls: RegClass, fn: str) -> int | float:
         if not isinstance(address, int):
             raise SimulationError(f"{fn}: non-integer address {address!r}")
@@ -211,14 +441,288 @@ class Simulator:
         self.heap[address] = value
 
     # ------------------------------------------------------------------
+    # Straight-line handlers.  Every handler receives (frame, args) with
+    # args fully pre-resolved; operand reads/writes inline the two fast
+    # slot kinds and fall back to the guarded paths.
+    # ------------------------------------------------------------------
+    def _h_nop(self, frame: _Frame, a) -> None:
+        pass
+
+    def _h_imm(self, frame: _Frame, a) -> None:
+        value, dst = a
+        if dst[0] == 0:
+            frame.temps[dst[1]] = value
+        elif dst[0] == 1:
+            self.regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_mov(self, frame: _Frame, a) -> None:
+        src, dst = a
+        if src[0] == 0:
+            value = frame.temps.get(src[1], src[2])
+        elif src[0] == 1:
+            value = self.regs[src[1]]
+        else:
+            value = self._read_guard(src)
+        if dst[0] == 0:
+            frame.temps[dst[1]] = value
+        elif dst[0] == 1:
+            self.regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_print(self, frame: _Frame, a) -> None:
+        src = a[0]
+        if src[0] == 0:
+            value = frame.temps.get(src[1], src[2])
+        elif src[0] == 1:
+            value = self.regs[src[1]]
+        else:
+            value = self._read_guard(src)
+        self.output.append(value)
+
+    def _h_lds(self, frame: _Frame, a) -> None:
+        slot, dst, fname = a
+        slots = frame.slots
+        if slot not in slots:
+            raise SimulationError(f"{fname}: load of never-written {slot}")
+        value = slots[slot]
+        if dst[0] == 0:
+            frame.temps[dst[1]] = value
+        elif dst[0] == 1:
+            self.regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_sts(self, frame: _Frame, a) -> None:
+        src, slot = a
+        if src[0] == 0:
+            value = frame.temps.get(src[1], src[2])
+        elif src[0] == 1:
+            value = self.regs[src[1]]
+        else:
+            value = self._read_guard(src)
+        frame.slots[slot] = value
+
+    def _h_load(self, frame: _Frame, a) -> None:
+        base_spec, imm, cls, dst, fname = a
+        if base_spec[0] == 0:
+            base = frame.temps.get(base_spec[1], base_spec[2])
+        elif base_spec[0] == 1:
+            base = self.regs[base_spec[1]]
+        else:
+            base = self._read_guard(base_spec)
+        value = self._heap_load(base + imm, cls, fname)
+        if dst[0] == 0:
+            frame.temps[dst[1]] = value
+        elif dst[0] == 1:
+            self.regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_store(self, frame: _Frame, a) -> None:
+        src, base_spec, imm, fname = a
+        if src[0] == 0:
+            value = frame.temps.get(src[1], src[2])
+        elif src[0] == 1:
+            value = self.regs[src[1]]
+        else:
+            value = self._read_guard(src)
+        if base_spec[0] == 0:
+            base = frame.temps.get(base_spec[1], base_spec[2])
+        elif base_spec[0] == 1:
+            base = self.regs[base_spec[1]]
+        else:
+            base = self._read_guard(base_spec)
+        self._heap_store(base + imm, value, fname)
+
+    def _h_addi(self, frame: _Frame, a) -> None:
+        src, imm, dst = a
+        if src[0] == 0:
+            value = frame.temps.get(src[1], src[2])
+        elif src[0] == 1:
+            value = self.regs[src[1]]
+        else:
+            value = self._read_guard(src)
+        value = (value + imm) & _MASK64
+        if value >= _HALF64:
+            value -= _TWO64
+        if dst[0] == 0:
+            frame.temps[dst[1]] = value
+        elif dst[0] == 1:
+            self.regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _unary(self, frame: _Frame, a):
+        src = a[0]
+        if src[0] == 0:
+            return frame.temps.get(src[1], src[2])
+        if src[0] == 1:
+            return self.regs[src[1]]
+        return self._read_guard(src)
+
+    def _store_result(self, frame: _Frame, dst, value) -> None:
+        if dst[0] == 0:
+            frame.temps[dst[1]] = value
+        elif dst[0] == 1:
+            self.regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_neg(self, frame: _Frame, a) -> None:
+        value = (-self._unary(frame, a)) & _MASK64
+        if value >= _HALF64:
+            value -= _TWO64
+        self._store_result(frame, a[1], value)
+
+    def _h_not(self, frame: _Frame, a) -> None:
+        value = (~self._unary(frame, a)) & _MASK64
+        if value >= _HALF64:
+            value -= _TWO64
+        self._store_result(frame, a[1], value)
+
+    def _h_fneg(self, frame: _Frame, a) -> None:
+        self._store_result(frame, a[1], -self._unary(frame, a))
+
+    def _h_itof(self, frame: _Frame, a) -> None:
+        self._store_result(frame, a[1], float(self._unary(frame, a)))
+
+    def _h_ftoi(self, frame: _Frame, a) -> None:
+        value = self._unary(frame, a)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SimulationError(f"{a[2]}: ftoi of non-finite {value!r}")
+        value = int(value) & _MASK64
+        if value >= _HALF64:
+            value -= _TWO64
+        self._store_result(frame, a[1], value)
+
+    def _h_ibin(self, frame: _Frame, a) -> None:
+        fnop, sa, sb, dst = a
+        temps = frame.temps
+        regs = self.regs
+        if sa[0] == 0:
+            x = temps.get(sa[1], sa[2])
+        elif sa[0] == 1:
+            x = regs[sa[1]]
+        else:
+            x = self._read_guard(sa)
+        if sb[0] == 0:
+            y = temps.get(sb[1], sb[2])
+        elif sb[0] == 1:
+            y = regs[sb[1]]
+        else:
+            y = self._read_guard(sb)
+        value = fnop(x, y) & _MASK64
+        if value >= _HALF64:
+            value -= _TWO64
+        if dst[0] == 0:
+            temps[dst[1]] = value
+        elif dst[0] == 1:
+            regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_cmp(self, frame: _Frame, a) -> None:
+        fnop, sa, sb, dst = a
+        temps = frame.temps
+        regs = self.regs
+        if sa[0] == 0:
+            x = temps.get(sa[1], sa[2])
+        elif sa[0] == 1:
+            x = regs[sa[1]]
+        else:
+            x = self._read_guard(sa)
+        if sb[0] == 0:
+            y = temps.get(sb[1], sb[2])
+        elif sb[0] == 1:
+            y = regs[sb[1]]
+        else:
+            y = self._read_guard(sb)
+        value = 1 if fnop(x, y) else 0
+        if dst[0] == 0:
+            temps[dst[1]] = value
+        elif dst[0] == 1:
+            regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _h_fbin(self, frame: _Frame, a) -> None:
+        fnop, sa, sb, dst = a
+        temps = frame.temps
+        regs = self.regs
+        if sa[0] == 0:
+            x = temps.get(sa[1], sa[2])
+        elif sa[0] == 1:
+            x = regs[sa[1]]
+        else:
+            x = self._read_guard(sa)
+        if sb[0] == 0:
+            y = temps.get(sb[1], sb[2])
+        elif sb[0] == 1:
+            y = regs[sb[1]]
+        else:
+            y = self._read_guard(sb)
+        value = fnop(x, y)
+        if dst[0] == 0:
+            temps[dst[1]] = value
+        elif dst[0] == 1:
+            regs[dst[1]] = value
+        else:
+            self._write_guard(dst, value)
+
+    def _divmod_operands(self, frame: _Frame, a):
+        _sa, sb = a[0], a[1]
+        # (shared by div/rem: read both operands with the inline kinds)
+        if _sa[0] == 0:
+            x = frame.temps.get(_sa[1], _sa[2])
+        elif _sa[0] == 1:
+            x = self.regs[_sa[1]]
+        else:
+            x = self._read_guard(_sa)
+        if sb[0] == 0:
+            y = frame.temps.get(sb[1], sb[2])
+        elif sb[0] == 1:
+            y = self.regs[sb[1]]
+        else:
+            y = self._read_guard(sb)
+        return x, y
+
+    def _h_div(self, frame: _Frame, a) -> None:
+        x, y = self._divmod_operands(frame, a)
+        if y == 0:
+            raise SimulationError(a[3])
+        q = abs(x) // abs(y)
+        value = (q if (x < 0) == (y < 0) else -q) & _MASK64
+        if value >= _HALF64:
+            value -= _TWO64
+        self._store_result(frame, a[2], value)
+
+    def _h_rem(self, frame: _Frame, a) -> None:
+        x, y = self._divmod_operands(frame, a)
+        if y == 0:
+            raise SimulationError(a[3])
+        q = abs(x) // abs(y)
+        value = _wrap64(x - _wrap64(y * (q if (x < 0) == (y < 0) else -q)))
+        self._store_result(frame, a[2], value)
+
+    def _h_fdiv(self, frame: _Frame, a) -> None:
+        x, y = self._divmod_operands(frame, a)
+        if y == 0.0:
+            raise SimulationError(a[3])
+        self._store_result(frame, a[2], x / y)
+
+    # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
-    #: Maximum simulated call depth (each level costs a few Python frames).
+    #: Maximum simulated call depth (explicit stack entries, not Python
+    #: frames — the host recursion limit is irrelevant).
     MAX_CALL_DEPTH = 2000
 
     def run(self, entry: str = "main") -> SimOutcome:
         """Execute from ``entry`` until its ``ret``; return the outcome."""
-        result = self._call(self.module.function(entry), depth=0)
+        result = self._run(self.module.function(entry))
         return SimOutcome(
             output=self.output,
             result=result,
@@ -226,199 +730,126 @@ class Simulator:
             cycles=self.cycles,
             op_counts=self.op_counts,
             spill_counts=self.spill_counts,
+            decode_compiled=self.decode_compiled,
+            decode_cached=self.decode_cached,
         )
 
-    def _block_map(self, fn: Function) -> dict[str, object]:
-        cached = self._blocks_cache.get(fn.name)
-        if cached is None:
-            cached = {b.label: b for b in fn.blocks}
-            self._blocks_cache[fn.name] = cached
-        return cached
-
-    def _call(self, fn: Function, depth: int) -> int | float | None:
-        if depth > self.MAX_CALL_DEPTH:
-            raise SimulationError(f"call depth exceeded entering {fn.name}")
+    def _new_frame(self, fn: Function) -> _Frame:
         frame = _Frame(fn)
         if self.check_callee_saved:
-            for cls in (RegClass.GPR, RegClass.FPR):
-                for reg in self.machine.callee_saved(cls):
-                    frame.entry_callee_saved[reg] = self.regs[reg]
-        blocks = self._block_map(fn)
+            regs = self.regs
+            saved = frame.entry_callee_saved
+            for reg in self._callee_saved_all:
+                saved[reg] = regs[reg]
+        return frame
 
-        while True:
-            if frame.index >= len(frame.block.instrs):
-                raise SimulationError(f"{fn.name}/{frame.block.label}: fell off block")
-            instr = frame.block.instrs[frame.index]
-            self.steps += 1
-            if self.steps > self.max_steps:
-                raise SimulationError(f"step budget exceeded in {fn.name}")
-            self.cycles += cycle_cost(instr.op)
-            self.op_counts[instr.op] += 1
-            if instr.spill_phase is not None:
-                self.spill_counts[(instr.spill_phase, instr.spill_kind())] += 1
+    def _run(self, fn: Function) -> int | float | None:
+        """The dispatch loop over decoded entries + the explicit frame
+        stack.  Hot counters live in locals and are written back on every
+        exit path."""
+        frame = self._new_frame(fn)
+        code = self._entry_code(fn)
+        i = 0
+        stack: list = []  # (frame, code, resume_index, call_args)
+        steps = self.steps
+        cycles = self.cycles
+        max_steps = self.max_steps
+        op_hist = self._op_hist
+        spill_counts = self.spill_counts
+        regs = self.regs
+        check_callee = self.check_callee_saved
+        trap = self.trap_poison
+        poisoned = self._poisoned
 
-            op = instr.op
-            if op is Op.RET:
-                value = self._read(frame, instr.uses[0]) if instr.uses else None
-                if self.check_callee_saved:
-                    for reg, saved in frame.entry_callee_saved.items():
-                        current = self.regs[reg]
-                        same = (current == saved or
-                                (current != current and saved != saved))
-                        if not same:
-                            raise SimulationError(
-                                f"{fn.name}: callee-saved {reg} clobbered "
-                                f"({saved!r} -> {current!r})")
-                return value
-            if op is Op.JMP:
-                frame.block = blocks[instr.targets[0]]
-                frame.index = 0
-                continue
-            if op is Op.BR:
-                cond = self._read(frame, instr.uses[0])
-                frame.block = blocks[instr.targets[0] if cond else instr.targets[1]]
-                frame.index = 0
-                continue
-            if op is Op.CALL:
-                callee = self.module.functions.get(instr.callee)
-                if callee is None:
-                    raise SimulationError(f"{fn.name}: call to unknown "
-                                          f"function {instr.callee!r}")
-                value = self._call(callee, depth + 1)
-                if self.poison_calls:
-                    skip = set(instr.defs)
-                    for cls in (RegClass.GPR, RegClass.FPR):
-                        poison = _GPR_POISON if cls is RegClass.GPR else _FPR_POISON
-                        for reg in self.machine.caller_saved(cls):
-                            if reg in skip:
-                                continue
-                            self.regs[reg] = poison
-                            self._poisoned.add(reg)
-                for d in instr.defs:
-                    if value is None:
+        try:
+            while True:
+                ctl, handler, cyc, op_i, spill_key, args = code[i]
+                if ctl == 5:  # fault sentinel: not a real instruction,
+                    exc_type, payload = args  # so raises without counting
+                    raise exc_type(payload)
+                steps += 1
+                if steps > max_steps:
+                    raise SimulationError(
+                        f"step budget exceeded in {frame.fn.name}")
+                cycles += cyc
+                op_hist[op_i] += 1
+                if spill_key is not None:
+                    spill_counts[spill_key] += 1
+                if ctl == 0:  # straight-line
+                    handler(frame, args)
+                    i += 1
+                elif ctl == 2:  # br
+                    spec, then_code, else_code = args
+                    if spec[0] == 0:
+                        cond = frame.temps.get(spec[1], spec[2])
+                    elif spec[0] == 1:
+                        cond = regs[spec[1]]
+                    else:
+                        cond = self._read_guard(spec)
+                    code = then_code if cond else else_code
+                    i = 0
+                elif ctl == 1:  # jmp
+                    code = args
+                    i = 0
+                elif ctl == 3:  # call
+                    callee, callee_name, poison, defs, fname = args
+                    if callee is None:
                         raise SimulationError(
-                            f"{fn.name}: {instr.callee} returned no value "
-                            f"but call expects one")
-                    self._write(frame, d, value)
-                frame.index += 1
-                continue
-
-            self._execute_straightline(frame, instr, fn.name)
-            frame.index += 1
-
-    def _execute_straightline(self, frame: _Frame, instr: Instr, fname: str) -> None:
-        op = instr.op
-        read = self._read
-        if op is Op.LI or op is Op.FLI:
-            self._write(frame, instr.defs[0], instr.imm)
-            return
-        if op is Op.MOV or op is Op.FMOV:
-            self._write(frame, instr.defs[0], read(frame, instr.uses[0]))
-            return
-        if op is Op.PRINT:
-            self.output.append(read(frame, instr.uses[0]))
-            return
-        if op is Op.NOP:
-            return
-        if op is Op.LDS:
-            slot = instr.slot
-            if slot not in frame.slots:
-                raise SimulationError(f"{fname}: load of never-written {slot}")
-            self._write(frame, instr.defs[0], frame.slots[slot])
-            return
-        if op is Op.STS:
-            frame.slots[instr.slot] = read(frame, instr.uses[0])
-            return
-        if op is Op.LD or op is Op.FLD:
-            base = read(frame, instr.uses[0])
-            cls = RegClass.GPR if op is Op.LD else RegClass.FPR
-            self._write(frame, instr.defs[0],
-                        self._heap_load(base + instr.imm, cls, fname))
-            return
-        if op is Op.ST or op is Op.FST:
-            value = read(frame, instr.uses[0])
-            base = read(frame, instr.uses[1])
-            self._heap_store(base + instr.imm, value, fname)
-            return
-
-        if op is Op.ADDI:
-            self._write(frame, instr.defs[0],
-                        _wrap64(read(frame, instr.uses[0]) + instr.imm))
-            return
-        if op in (Op.NEG, Op.NOT, Op.FNEG, Op.ITOF, Op.FTOI):
-            a = read(frame, instr.uses[0])
-            if op is Op.NEG:
-                value: int | float = _wrap64(-a)
-            elif op is Op.NOT:
-                value = _wrap64(~a)
-            elif op is Op.FNEG:
-                value = -a
-            elif op is Op.ITOF:
-                value = float(a)
-            else:  # FTOI truncates toward zero
-                if a != a or a in (float("inf"), float("-inf")):
-                    raise SimulationError(f"{fname}: ftoi of non-finite {a!r}")
-                value = _wrap64(int(a))
-            self._write(frame, instr.defs[0], value)
-            return
-
-        a = read(frame, instr.uses[0])
-        b = read(frame, instr.uses[1])
-        if op is Op.ADD:
-            value = _wrap64(a + b)
-        elif op is Op.SUB:
-            value = _wrap64(a - b)
-        elif op is Op.MUL:
-            value = _wrap64(a * b)
-        elif op is Op.DIV:
-            if b == 0:
-                raise SimulationError(f"{fname}: division by zero")
-            q = abs(a) // abs(b)
-            value = _wrap64(q if (a < 0) == (b < 0) else -q)
-        elif op is Op.REM:
-            if b == 0:
-                raise SimulationError(f"{fname}: remainder by zero")
-            q = abs(a) // abs(b)
-            value = _wrap64(a - _wrap64(b * (q if (a < 0) == (b < 0) else -q)))
-        elif op is Op.AND:
-            value = _wrap64(a & b)
-        elif op is Op.OR:
-            value = _wrap64(a | b)
-        elif op is Op.XOR:
-            value = _wrap64(a ^ b)
-        elif op is Op.SHL:
-            value = _wrap64(a << (b % 64))
-        elif op is Op.SHR:
-            value = _wrap64(a >> (b % 64))
-        elif op is Op.SLT:
-            value = int(a < b)
-        elif op is Op.SLE:
-            value = int(a <= b)
-        elif op is Op.SEQ:
-            value = int(a == b)
-        elif op is Op.SNE:
-            value = int(a != b)
-        elif op is Op.FADD:
-            value = a + b
-        elif op is Op.FSUB:
-            value = a - b
-        elif op is Op.FMUL:
-            value = a * b
-        elif op is Op.FDIV:
-            if b == 0.0:
-                raise SimulationError(f"{fname}: float division by zero")
-            value = a / b
-        elif op is Op.FSLT:
-            value = int(a < b)
-        elif op is Op.FSLE:
-            value = int(a <= b)
-        elif op is Op.FSEQ:
-            value = int(a == b)
-        elif op is Op.FSNE:
-            value = int(a != b)
-        else:  # pragma: no cover - exhaustive over the opcode set
-            raise SimulationError(f"{fname}: unimplemented opcode {op}")
-        self._write(frame, instr.defs[0], value)
+                            f"{fname}: call to unknown "
+                            f"function {callee_name!r}")
+                    if len(stack) >= self.MAX_CALL_DEPTH:
+                        raise SimulationError(
+                            f"call depth exceeded entering {callee.name}")
+                    stack.append((frame, code, i + 1, args))
+                    frame = self._new_frame(callee)
+                    code = self._entry_code(callee)
+                    i = 0
+                else:  # ret
+                    spec = args
+                    if spec is None:
+                        value = None
+                    elif spec[0] == 0:
+                        value = frame.temps.get(spec[1], spec[2])
+                    elif spec[0] == 1:
+                        value = regs[spec[1]]
+                    else:
+                        value = self._read_guard(spec)
+                    if check_callee:
+                        for reg, saved in frame.entry_callee_saved.items():
+                            current = regs[reg]
+                            same = (current == saved or
+                                    (current != current and saved != saved))
+                            if not same:
+                                raise SimulationError(
+                                    f"{frame.fn.name}: callee-saved {reg} "
+                                    f"clobbered ({saved!r} -> {current!r})")
+                    if not stack:
+                        return value
+                    frame, code, i, call_args = stack.pop()
+                    _callee, callee_name, poison, defs, fname = call_args
+                    for reg, poison_value in poison:
+                        regs[reg] = poison_value
+                        if trap:
+                            poisoned.add(reg)
+                    for dst in defs:
+                        if value is None:
+                            raise SimulationError(
+                                f"{fname}: {callee_name} returned no value "
+                                f"but call expects one")
+                        if dst[0] == 0:
+                            frame.temps[dst[1]] = value
+                        elif dst[0] == 1:
+                            regs[dst[1]] = value
+                        else:
+                            self._write_guard(dst, value)
+        finally:
+            self.steps = steps
+            self.cycles = cycles
+            op_counts = self.op_counts
+            for op_i, count in enumerate(op_hist):
+                if count:
+                    op_counts[_OP_LIST[op_i]] += count
+                    op_hist[op_i] = 0
 
 
 def outputs_equal(a: list[int | float] | None, b: list[int | float] | None) -> bool:

@@ -182,3 +182,54 @@ class TestRangeSetProperties:
         else:
             assert rs.covers(nxt)
             assert all(not rs.covers(p) for p in range(point, nxt))
+
+
+def _model_rangeset(raw):
+    """The original sort-merge construction, as the oracle for the flat
+    parallel-array representation."""
+    merged = []
+    for start, end in sorted(raw):
+        if start >= end:
+            continue
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1][1] = end
+        else:
+            merged.append([start, end])
+    return [tuple(pair) for pair in merged]
+
+
+class TestFlatRangeSetMatchesModel:
+    """The flat-array RangeSet against the old construction semantics."""
+
+    @given(ranges_strategy)
+    def test_generic_construction_matches_model(self, raw):
+        rs = RangeSet(raw)
+        assert [(r.start, r.end) for r in rs] == _model_rangeset(raw)
+
+    @given(ranges_strategy)
+    def test_reverse_sweep_matches_model_on_descending_input(self, raw):
+        # compute_lifetimes appends each temp's ranges with non-increasing
+        # starts; the no-sort path must agree with the sorting one.
+        descending = sorted(raw, reverse=True)
+        rs = RangeSet.from_reverse_sweep(descending)
+        assert [(r.start, r.end) for r in rs] == _model_rangeset(raw)
+        assert rs == RangeSet(raw)
+
+    @given(ranges_strategy)
+    def test_reverse_sweep_falls_back_on_unsorted_input(self, raw):
+        # Arbitrary (possibly unsorted) input must still normalize
+        # correctly via the fallback, never silently mis-merge.
+        rs = RangeSet.from_reverse_sweep(raw)
+        assert [(r.start, r.end) for r in rs] == _model_rangeset(raw)
+
+    @given(ranges_strategy, st.integers(-5, 205))
+    def test_flat_queries_match_range_objects(self, raw, point):
+        rs = RangeSet(raw)
+        ranges = list(rs)  # materialized Range boundary
+        assert rs.covers(point) == any(point in r for r in ranges)
+        assert len(rs) == len(ranges)
+        assert bool(rs) == bool(ranges)
+        if ranges:
+            assert rs.start == ranges[0].start
+            assert rs.end == ranges[-1].end

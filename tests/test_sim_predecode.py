@@ -1,0 +1,163 @@
+"""The pre-decoded simulator against the retained reference interpreter.
+
+:mod:`repro.sim.machine` compiles each block into a flat tuple program
+and dispatches through bound handlers; :mod:`repro.sim.reference` is the
+original module-walking interpreter, kept verbatim as the semantic
+oracle.  These tests demand the two agree *exactly* — outputs, results,
+dynamic instruction counts, cycles, per-opcode counts, spill counts, and
+faults (type and message) — over the benchmark analogs, allocated code,
+and a broad fuzz corpus, so any fast-path change that perturbs semantics
+fails here before it can skew a paper table.
+"""
+
+import pytest
+
+from repro.allocators import ALLOCATOR_FACTORIES, make_allocator
+from repro.fuzz.generate import program_for_seed
+from repro.ir.builder import FunctionBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instr, Op
+from repro.ir.module import Module
+from repro.obs import MetricsRegistry
+from repro.pm.session import CompilationSession
+from repro.sim import (SimulationError, outputs_equal, reference_simulate,
+                       simulate)
+from repro.target import alpha, tiny
+from repro.workloads.programs import PROGRAM_NAMES, build_program
+
+
+def run_both(module, machine, **kwargs):
+    """Run both interpreters; return comparable (kind, payload) verdicts."""
+
+    def observe(run):
+        try:
+            o = run(module, machine, **kwargs)
+        except SimulationError as exc:
+            return ("fault", str(exc))
+        except Exception as exc:  # noqa: BLE001 — compare crash identity too
+            return ("crash", type(exc).__name__, str(exc))
+        return ("ok", o.output, o.result, o.dynamic_instructions, o.cycles,
+                dict(o.op_counts), dict(o.spill_counts))
+
+    return observe(simulate), observe(reference_simulate)
+
+
+def assert_equivalent(module, machine, **kwargs):
+    fast, ref = run_both(module, machine, **kwargs)
+    if fast[0] == ref[0] == "ok":
+        # outputs compared NaN-tolerantly, everything else exactly
+        assert outputs_equal(fast[1], ref[1])
+        assert fast[2:] == ref[2:]
+    else:
+        assert fast == ref
+
+
+class TestAnalogEquivalence:
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_virtual_code_matches_reference(self, name):
+        machine = alpha()
+        assert_equivalent(build_program(name, machine), machine)
+
+    @pytest.mark.parametrize("alloc_name", sorted(ALLOCATOR_FACTORIES))
+    def test_allocated_code_matches_reference(self, alloc_name):
+        machine = alpha()
+        module = build_program("doduc", machine)
+        session = CompilationSession(module, machine)
+        result = session.run(make_allocator(alloc_name))
+        assert_equivalent(result.module, machine, trap_poison=True)
+
+
+class TestFuzzCorpusEquivalence:
+    """100 deterministic fuzz seeds: same results, op counts, and faults."""
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_seed_matches_reference(self, seed):
+        program = program_for_seed(seed)
+        assert_equivalent(program.module, program.machine, trap_poison=True)
+
+
+class TestFaultEquivalence:
+    """Faults must match in both message and accounting."""
+
+    def _module(self, machine, instrs, extra_fn=None):
+        module = Module()
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        for instr in instrs:
+            b.emit(instr)
+        module.add_function(fn)
+        if extra_fn is not None:
+            module.add_function(extra_fn)
+        return module
+
+    def test_fell_off_block_fault(self):
+        machine = tiny(4, 4)
+        module = self._module(machine, [Instr(Op.NOP)])
+        fast, ref = run_both(module, machine)
+        assert fast == ref
+        assert fast[0] == "fault" and "fell off block" in fast[1]
+
+    def test_unknown_jump_target_fault(self):
+        machine = tiny(4, 4)
+        module = self._module(machine, [Instr(Op.JMP, targets=["nowhere"])])
+        fast, ref = run_both(module, machine)
+        assert fast == ref
+        assert fast[0] == "crash" and fast[1] == "KeyError"
+
+    def test_division_by_zero_fault(self):
+        machine = tiny(4, 4)
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        x = fn.new_temp(machine.gprs[0].regclass)
+        y = fn.new_temp(machine.gprs[0].regclass)
+        z = fn.new_temp(machine.gprs[0].regclass)
+        b.emit(Instr(Op.LI, defs=[x], imm=7))
+        b.emit(Instr(Op.LI, defs=[y], imm=0))
+        b.emit(Instr(Op.DIV, defs=[z], uses=[x, y]))
+        b.emit(Instr(Op.RET))
+        module = Module()
+        module.add_function(fn)
+        fast, ref = run_both(module, machine)
+        assert fast == ref
+        assert fast == ("fault", "main: division by zero")
+
+    def test_step_budget_fault_at_same_step(self):
+        machine = tiny(4, 4)
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("loop")
+        b.emit(Instr(Op.JMP, targets=["loop"]))
+        module = Module()
+        module.add_function(fn)
+        fast, ref = run_both(module, machine, max_steps=1234)
+        assert fast == ref
+        assert fast == ("fault", "step budget exceeded in main")
+
+
+class TestDecodeCache:
+    """Block pre-decode must compile each function once and then hit its
+    cache on every further call (observable as ``sim.decode.*``)."""
+
+    def test_cache_metrics_published(self):
+        machine = alpha()
+        module = build_program("doduc", machine)  # main + one callee
+        metrics = MetricsRegistry()
+        outcome = simulate(module, machine, metrics=metrics)
+        compiled = metrics.get("sim.decode.compiled")
+        cached = metrics.get("sim.decode.cached")
+        assert compiled == outcome.decode_compiled
+        assert cached == outcome.decode_cached
+        # Every function the run entered was decoded exactly once ...
+        assert 1 <= compiled <= len(module.functions)
+        # ... and doduc's helper is called in a loop, so nearly every
+        # call must be served from the cache.
+        assert cached > 10 * compiled
+
+    def test_reference_interpreter_never_decodes(self):
+        machine = alpha()
+        module = build_program("compress", machine)
+        outcome = reference_simulate(module, machine)
+        assert outcome.decode_compiled == 0
+        assert outcome.decode_cached == 0

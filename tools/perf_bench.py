@@ -1,0 +1,288 @@
+#!/usr/bin/env python3
+"""The tracked performance-benchmark suite (``BENCH_*.json``).
+
+Times the pipeline's three hot kernels plus the end-to-end comparison
+driver, using only public APIs, so the same tool runs unchanged against
+any revision:
+
+* ``sim.*``   — the executing simulator on benchmark analogs and on a
+  deterministic fuzz-generated corpus (the Table 1/fuzz dominator);
+* ``e2e.*``   — ``compare_allocators`` end-to-end (what ``repro bench``
+  does: every allocator, allocation + simulation);
+* ``lifetimes`` — :func:`repro.lifetimes.compute_lifetimes` over every
+  analog function (RangeSet construction churn);
+* ``interference`` — graph-coloring allocation (interference build
+  dominated) over the highest-pressure analogs.
+
+Each benchmark reports the **median of N reps** so one noisy rep cannot
+flake CI.  Results land in a JSON document; ``--record FILE --phase
+before|after`` folds the run into a trajectory file like ``BENCH_5.json``
+(and computes speedups when both phases are present), while ``--check
+FILE`` compares the current run against the file's recorded medians and
+fails on a >``--max-slowdown`` ratio (ratio-based, so absolute runner
+speed does not matter).
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_bench.py [--quick] [--reps N]
+        [--out RUN.json] [--record BENCH_5.json --phase after]
+        [--check BENCH_5.json [--max-slowdown 1.5]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.lifetimes import compute_lifetimes
+from repro.pm.batch import compare_allocators
+from repro.pm.session import CompilationSession
+from repro.sim import simulate
+from repro.target import alpha
+from repro.workloads.programs import build_program
+
+#: Analogs timed per group.  ``quick`` keeps CI smoke under ~15 s of
+#: measured work; ``full`` is what BENCH_*.json trajectory points use.
+SIM_ANALOGS = {"quick": ["doduc", "compress", "m88ksim"],
+               "full": ["doduc", "compress", "m88ksim", "fpppp", "wc"]}
+E2E_ANALOGS = {"quick": ["compress"], "full": ["compress", "doduc", "sort"]}
+INTERFERENCE_ANALOGS = {"quick": ["doduc"], "full": ["doduc", "fpppp"]}
+#: Fixed fuzz corpus: deterministic seeds, so every revision times the
+#: exact same generated programs.
+FUZZ_SEEDS = {"quick": range(0, 12), "full": range(0, 30)}
+
+
+def _median_time(fn, reps: int) -> float:
+    """Median wall-clock seconds of ``reps`` calls of ``fn``."""
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _fuzz_corpus(seeds) -> list:
+    from repro.fuzz.generate import program_for_seed
+
+    return [program_for_seed(seed) for seed in seeds]
+
+
+def run_suite(*, quick: bool = False, reps: int = 3,
+              progress=None) -> dict:
+    """Run every benchmark; return the result document (no I/O)."""
+    mode = "quick" if quick else "full"
+    machine = alpha()
+    say = progress or (lambda msg: None)
+    benchmarks: dict[str, dict] = {}
+
+    def record(name: str, fn) -> None:
+        say(f"  {name} ...")
+        median = _median_time(fn, reps)
+        benchmarks[name] = {"median_s": round(median, 6), "reps": reps}
+        say(f"  {name}: {median * 1e3:.1f} ms")
+
+    say("simulator microbenchmarks")
+    for name in SIM_ANALOGS[mode]:
+        module = build_program(name, machine)
+        record(f"sim.{name}", lambda m=module: simulate(m, machine))
+
+    say("fuzz-corpus simulation")
+    corpus = _fuzz_corpus(FUZZ_SEEDS[mode])
+
+    def run_corpus() -> None:
+        for program in corpus:
+            simulate(program.module, program.machine)
+
+    record("sim.fuzz_corpus", run_corpus)
+
+    say("end-to-end allocator comparison")
+    for name in E2E_ANALOGS[mode]:
+        module = build_program(name, machine)
+        record(f"e2e.{name}",
+               lambda m=module: compare_allocators(m, machine))
+
+    say("lifetime construction")
+    analog_modules = [build_program(name, machine)
+                      for name in SIM_ANALOGS[mode]]
+    fns = [fn for module in analog_modules
+           for fn in module.functions.values()]
+
+    def run_lifetimes() -> None:
+        for iteration in range(10):
+            for fn in fns:
+                compute_lifetimes(fn, machine)
+
+    record("lifetimes", run_lifetimes)
+
+    say("interference build (graph coloring)")
+    for name in INTERFERENCE_ANALOGS[mode]:
+        from repro.allocators import GraphColoring
+
+        module = build_program(name, machine)
+
+        def run_coloring(m=module) -> None:
+            session = CompilationSession(m, machine)
+            session.run(GraphColoring())
+
+        record(f"interference.{name}", run_coloring)
+
+    groups: dict[str, float] = {}
+    for name, cell in benchmarks.items():
+        group = name.split(".", 1)[0]
+        groups[group] = round(groups.get(group, 0.0) + cell["median_s"], 6)
+    return {"schema": 1, "mode": mode, "reps": reps,
+            "benchmarks": benchmarks, "groups": groups}
+
+
+# ----------------------------------------------------------------------
+# Trajectory files (BENCH_*.json) and the CI regression gate.
+# ----------------------------------------------------------------------
+def fold_into(path: str, phase: str, run: dict) -> dict:
+    """Insert ``run`` as the ``phase`` of trajectory file ``path``.
+
+    With both ``before`` and ``after`` present, per-group speedups
+    (before / after) are recomputed.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        doc = {"schema": 1, "tool": "tools/perf_bench.py"}
+    doc[phase] = run
+    if "before" in doc and "after" in doc:
+        speedup = {}
+        after_groups = doc["after"]["groups"]
+        for group, before_s in doc["before"]["groups"].items():
+            if group in after_groups and after_groups[group] > 0:
+                speedup[group] = round(before_s / after_groups[group], 2)
+        doc["speedup"] = speedup
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return doc
+
+
+#: Benchmarks whose *workload* depends on the mode (seed count, analog
+#: set), so a quick run cannot be compared against a full baseline.
+_MODE_DEPENDENT = {"sim.fuzz_corpus", "lifetimes"}
+
+
+def check_against(baseline_path: str, run: dict,
+                  max_slowdown: float) -> list[str]:
+    """Per-benchmark regression check: current vs the file's newest phase.
+
+    Returns failure messages (empty = pass).  Only benchmarks present in
+    both documents are compared, so adding one never breaks the gate
+    retroactively; a ``--quick`` run checks cleanly against a full
+    baseline because each ``sim.<analog>`` / ``e2e.<analog>`` /
+    ``interference.<analog>`` cell times the identical workload in both
+    modes (the mode-dependent cells are skipped on a mode mismatch).
+
+    The baseline was recorded on whatever machine cut the trajectory
+    point, so raw ratios fold in the runner-speed difference.  Each
+    ratio is therefore normalized by the **median ratio across all
+    compared benchmarks**: a uniformly slower runner cancels out, while
+    one regressed kernel stands out against the rest.
+    """
+    with open(baseline_path) as fh:
+        doc = json.load(fh)
+    baseline = doc.get("after") or doc.get("before") or doc
+    base_cells = baseline.get("benchmarks", {})
+    same_mode = baseline.get("mode") == run["mode"]
+    ratios: dict[str, tuple[float, float, float]] = {}
+    for name, cell in run["benchmarks"].items():
+        base = base_cells.get(name)
+        if base is None or not base.get("median_s"):
+            continue
+        if name in _MODE_DEPENDENT and not same_mode:
+            print(f"  {name}: skipped (workload differs between "
+                  f"{run['mode']} and {baseline.get('mode')} modes)")
+            continue
+        current_s = cell["median_s"]
+        base_s = base["median_s"]
+        ratios[name] = (current_s, base_s, current_s / base_s)
+    if not ratios:
+        print("  no comparable benchmarks in baseline; nothing to check")
+        return []
+    scale = statistics.median(r for _, _, r in ratios.values())
+    print(f"  runner-speed normalization: median ratio {scale:.2f}x")
+    failures = []
+    for name, (current_s, base_s, ratio) in ratios.items():
+        normalized = ratio / scale
+        status = "ok" if normalized <= max_slowdown else "REGRESSION"
+        print(f"  {name}: {current_s * 1e3:.1f} ms vs baseline "
+              f"{base_s * 1e3:.1f} ms ({normalized:.2f}x normalized) "
+              f"{status}")
+        if normalized > max_slowdown:
+            failures.append(f"{name}: {normalized:.2f}x slower than the "
+                            f"run's own median ratio "
+                            f"(limit {max_slowdown:.2f}x)")
+    return failures
+
+
+def format_run(run: dict) -> str:
+    lines = [f"perf bench ({run['mode']}, median of {run['reps']} reps)"]
+    for name, cell in run["benchmarks"].items():
+        lines.append(f"  {name:24s} {cell['median_s'] * 1e3:10.1f} ms")
+    lines.append("  " + "-" * 38)
+    for group, total in run["groups"].items():
+        lines.append(f"  {group + ' (total)':24s} {total * 1e3:10.1f} ms")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller analog/corpus set (CI smoke)")
+    parser.add_argument("--reps", type=int, default=3, metavar="N",
+                        help="reps per benchmark; the median is kept "
+                             "(default: 3)")
+    parser.add_argument("--out", metavar="RUN.json",
+                        help="write this run's document to RUN.json")
+    parser.add_argument("--record", metavar="BENCH.json",
+                        help="fold the run into a trajectory file")
+    parser.add_argument("--phase", choices=["before", "after"],
+                        default="after",
+                        help="which phase --record fills (default: after)")
+    parser.add_argument("--check", metavar="BENCH.json",
+                        help="fail on regression vs the recorded medians")
+    parser.add_argument("--max-slowdown", type=float, default=1.5,
+                        help="--check failure threshold as a ratio "
+                             "(default: 1.5)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="progress on stderr while measuring")
+    args = parser.parse_args(argv)
+
+    progress = ((lambda msg: print(msg, file=sys.stderr))
+                if args.verbose else None)
+    run = run_suite(quick=args.quick, reps=args.reps, progress=progress)
+    print(format_run(run))
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(run, fh, indent=2)
+            fh.write("\n")
+    if args.record:
+        doc = fold_into(args.record, args.phase, run)
+        if "speedup" in doc:
+            print("speedup vs before: "
+                  + ", ".join(f"{g}: {s:.2f}x"
+                              for g, s in doc["speedup"].items()))
+    if args.check:
+        print(f"regression check vs {args.check} "
+              f"(limit {args.max_slowdown:.2f}x):")
+        failures = check_against(args.check, run, args.max_slowdown)
+        if failures:
+            for line in failures:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 1
+        print("  all benchmarks within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
