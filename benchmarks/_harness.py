@@ -1,14 +1,28 @@
 """Shared machinery for the benchmark harness.
 
-The harness regenerates every table and figure of the paper's evaluation
-(see DESIGN.md's experiment index).  The expensive raw data — each analog
-compiled, allocated by each allocator, and simulated — is computed once
-per session (see ``conftest.quality_data``) and shared by Table 1,
-Table 2, and Figure 3.
+Since the result-store refactor the harness is thin: ``conftest.py``
+runs the declarative suite (``repro.results.suite.standard_suite``) once
+per session — computing only the cells whose content hash misses the
+persistent store — and every ``test_*`` module renders its table from
+store records through the *same* ``repro.results.report`` functions the
+``repro report`` CLI uses, then asserts the paper's shape claims on the
+structured rows.  The N per-table measurement loops this file used to
+carry are gone.
 
-Every reproduced table is printed to the terminal (bypassing pytest's
-capture) *and* written under ``benchmarks/results/`` so a benchmark run
-leaves a record that EXPERIMENTS.md can reference.
+Every reproduced table is still printed to the terminal (bypassing
+pytest's capture) *and* written under ``benchmarks/results/`` so a
+benchmark run leaves a record that EXPERIMENTS.md can reference.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SET=fast``    — quality tables on the golden subset
+  (the default is the full eleven-analog set);
+* ``REPRO_RESULT_STORE=DIR``  — store location (default:
+  ``benchmarks/results/store``);
+* ``REPRO_SUITE_JOBS=N``      — compute cache-miss cells through the
+  process pool;
+* ``REPRO_TABLE3_REPS=N``     — timing repetitions per Table 3 cell
+  (minimum and default 3).
 """
 
 from __future__ import annotations
@@ -16,49 +30,28 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-from repro.allocators import GraphColoring, SecondChanceBinpacking
-from repro.pipeline import run_allocator
-from repro.pm.session import CompilationSession
-from repro.sim import simulate
-from repro.sim.machine import outputs_equal
-from repro.target import alpha
-from repro.workloads.programs import PROGRAM_NAMES, build_program
+from repro.results.suite import FAST_SET
 
 RESULTS_DIR = Path(__file__).parent / "results"
-
-#: Set REPRO_BENCH_SET=fast to run the quality tables on a subset.
-FAST_SET = ["doduc", "fpppp", "compress", "m88ksim", "sort"]
 
 
 def bench_program_names() -> list[str]:
     """The analogs the quality tables cover in this run."""
+    from repro.workloads.programs import PROGRAM_NAMES
+
     if os.environ.get("REPRO_BENCH_SET") == "fast":
         return list(FAST_SET)
     return list(PROGRAM_NAMES)
 
 
-class QualityRun:
-    """One benchmark analog under both headline allocators."""
+def table3_reps() -> int:
+    """Timing repetitions per Table 3 cell; the reported time is the
+    median, so at least three."""
+    return max(3, int(os.environ.get("REPRO_TABLE3_REPS", "3")))
 
-    def __init__(self, name: str):
-        machine = alpha()
-        module = build_program(name, machine)
-        self.name = name
-        self.reference = simulate(module, machine)
-        self.results = {}
-        self.outcomes = {}
-        # One session per analog: both allocators share the setup
-        # analyses and the DCE'd base, per Section 3's methodology.
-        session = CompilationSession(module, machine)
-        for key, allocator in (("binpack", SecondChanceBinpacking()),
-                               ("coloring", GraphColoring())):
-            result = run_allocator(module, allocator, machine,
-                                   session=session)
-            outcome = simulate(result.module, machine)
-            assert outputs_equal(outcome.output, self.reference.output), (
-                f"{name}/{key}: allocation changed observable behaviour")
-            self.results[key] = result
-            self.outcomes[key] = outcome
+
+def suite_jobs() -> int:
+    return int(os.environ.get("REPRO_SUITE_JOBS", "1"))
 
 
 def emit_table(capsys, filename: str, text: str) -> None:

@@ -2,7 +2,8 @@
 
 DESIGN.md's experiment index calls out the binpacking design choices the
 paper motivates but does not measure individually.  Each ablation knocks
-out one Section 2 mechanism:
+out one Section 2 mechanism (the grid is declared once, in
+``repro.results.suite.ABLATION_CONFIGS``):
 
 * ``no-holes``      — disable lifetime-hole packing (Section 2.1/2.2);
 * ``no-esc``        — disable early second chance (Section 2.5);
@@ -21,90 +22,26 @@ Run on the fast analog subset; the report shows dynamic instructions
 relative to the full second-chance configuration.
 """
 
-import pytest
-
-from repro.allocators import PolettoLinearScan, SecondChanceBinpacking
-from repro.allocators.binpack.allocator import BinpackOptions
-from repro.pipeline import run_allocator
-from repro.sim import simulate
-from repro.sim.machine import outputs_equal
-from repro.stats.report import format_table
-from repro.target import alpha
-from repro.workloads.programs import build_program
+from repro.results.report import ablation_rows, render_ablations
+from repro.results.suite import ABLATION_CONFIGS
 
 from _harness import emit_table
 
-PROGRAMS = ["doduc", "fpppp", "compress", "sort"]
 
-CONFIGS = {
-    "full": lambda: SecondChanceBinpacking(),
-    "no-holes": lambda: SecondChanceBinpacking(
-        BinpackOptions(use_holes=False)),
-    "no-esc": lambda: SecondChanceBinpacking(
-        BinpackOptions(early_second_chance=False)),
-    "no-move-elim": lambda: SecondChanceBinpacking(
-        BinpackOptions(move_elimination=False)),
-    "no-consistency": lambda: SecondChanceBinpacking(
-        BinpackOptions(avoid_consistent_stores=False)),
-    "conservative": lambda: SecondChanceBinpacking(
-        BinpackOptions(conservative_consistency=True)),
-    "poletto": lambda: PolettoLinearScan(),
-    "+cleanup": lambda: SecondChanceBinpacking(),
-}
-
-_RECORDED: dict[tuple[str, str], int] = {}
-
-
-def _measure(program: str) -> dict[str, int]:
-    machine = alpha()
-    module = build_program(program, machine)
-    reference = simulate(module, machine)
-    counts = {}
-    for config, factory in CONFIGS.items():
-        result = run_allocator(module, factory(), machine,
-                               spill_cleanup=(config == "+cleanup"))
-        outcome = simulate(result.module, machine)
-        assert outputs_equal(outcome.output, reference.output), (
-            program, config)
-        counts[config] = outcome.dynamic_instructions
-        _RECORDED[(program, config)] = outcome.dynamic_instructions
-    return counts
-
-
-@pytest.mark.parametrize("program", PROGRAMS)
-def test_ablation_measurement(benchmark, program):
-    counts = benchmark.pedantic(_measure, args=(program,), rounds=1,
-                                iterations=1, warmup_rounds=0)
-    assert counts["full"] > 0
-
-
-def test_ablation_report(benchmark, capsys):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
-    missing = [(p, c) for p in PROGRAMS for c in CONFIGS
-               if (p, c) not in _RECORDED]
-    if missing:
-        pytest.skip(f"measurements not run: {missing[:3]}...")
-    rows = []
-    for program in PROGRAMS:
-        full = _RECORDED[(program, "full")]
-        rows.append([program] + [
-            _RECORDED[(program, config)] / full for config in CONFIGS])
-    table = format_table(
-        ["benchmark"] + list(CONFIGS), rows,
-        title=("Ablations: dynamic instructions relative to full "
-               "second-chance binpacking (1.000 = full configuration)"))
-    emit_table(capsys, "ablations.txt", table)
+def test_ablation_report(results_store, capsys):
+    rows = ablation_rows(results_store)
+    emit_table(capsys, "ablations.txt", render_ablations(results_store))
     for row in rows:
-        name, values = row[0], row[1:]
+        values = row[1:]
         assert values[0] == 1.0
         # No ablation should ever *improve* quality by a large factor —
         # that would mean a mechanism is misfiring.
         assert all(v > 0.97 for v in values), row
     # Hole packing must help somewhere (doduc's call-heavy FP loop is the
     # usual beneficiary; fpppp's single giant block has few holes).
-    no_holes_col = 1 + list(CONFIGS).index("no-holes")
+    no_holes_col = 1 + list(ABLATION_CONFIGS).index("no-holes")
     assert any(row[no_holes_col] > 1.0 for row in rows)
     # And the hole-less Poletto baseline should trail the full allocator
     # on at least one benchmark as well.
-    poletto_col = 1 + list(CONFIGS).index("poletto")
+    poletto_col = 1 + list(ABLATION_CONFIGS).index("poletto")
     assert any(row[poletto_col] > 1.0 for row in rows)

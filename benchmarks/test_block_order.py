@@ -4,7 +4,7 @@ The linear-scan family is defined over "the static linear order of the
 code" (Section 1): lifetimes, holes, and the single scan all depend on
 how blocks are laid out, while graph coloring sees only the CFG.  This
 study quantifies that dependence by allocating the same programs under
-three layouts:
+three layouts (cells carry ``order=layout|rpo|scrambled`` in the store):
 
 * ``layout``   — the frontend's source order (the default elsewhere);
 * ``rpo``      — reverse postorder;
@@ -13,95 +13,20 @@ three layouts:
                  headers, tearing lifetimes into long spans).
 
 All three are semantically identical (every block ends in an explicit
-terminator), so the simulator oracle still applies; only quality may
-move.  Coloring is measured under the same permutations as a control —
-its results should barely move.
+terminator — the suite worker's oracle check enforces it), so only
+quality may move.  Coloring is measured under the same permutations as a
+control — its results should barely move.
 """
 
-import copy
-import random
-
-import pytest
-
-from repro.allocators import GraphColoring, SecondChanceBinpacking
-from repro.cfg.order import reorder_reverse_postorder
-from repro.pipeline import run_allocator
-from repro.sim import simulate
-from repro.sim.machine import outputs_equal
-from repro.stats.report import format_table
-from repro.target import alpha
-from repro.workloads.programs import build_program
+from repro.results.report import block_order_rows, render_block_order
 
 from _harness import emit_table
 
-PROGRAMS = ["doduc", "fpppp", "sort", "m88ksim"]
-ORDERS = ["layout", "rpo", "scrambled"]
 
-_RECORDED: dict[tuple[str, str, str], int] = {}
-
-
-def _reorder(module, order: str):
-    working = copy.deepcopy(module)
-    if order == "layout":
-        return working
-    for fn in working.functions.values():
-        if order == "rpo":
-            reorder_reverse_postorder(fn)
-        else:
-            rng = random.Random(0xC0FFEE)
-            rest = fn.blocks[1:]
-            rng.shuffle(rest)
-            fn.blocks[:] = [fn.blocks[0]] + rest
-    return working
-
-
-def _measure(program: str) -> None:
-    machine = alpha()
-    base = build_program(program, machine)
-    reference = simulate(base, machine)
-    for order in ORDERS:
-        module = _reorder(base, order)
-        for key, allocator in (("binpack", SecondChanceBinpacking()),
-                               ("coloring", GraphColoring())):
-            result = run_allocator(module, allocator, machine)
-            outcome = simulate(result.module, machine)
-            assert outputs_equal(outcome.output, reference.output), (
-                program, order, key)
-            _RECORDED[(program, order, key)] = outcome.dynamic_instructions
-
-
-@pytest.mark.parametrize("program", PROGRAMS)
-def test_block_order_measurement(benchmark, program):
-    benchmark.pedantic(_measure, args=(program,), rounds=1, iterations=1,
-                       warmup_rounds=0)
-    assert _RECORDED[(program, "layout", "binpack")] > 0
-
-
-def test_block_order_report(benchmark, capsys):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
-    missing = [(p, o) for p in PROGRAMS for o in ORDERS
-               if (p, o, "binpack") not in _RECORDED]
-    if missing:
-        pytest.skip(f"measurements not run: {missing[:3]}...")
-    rows = []
-    for program in PROGRAMS:
-        base_b = _RECORDED[(program, "layout", "binpack")]
-        base_c = _RECORDED[(program, "layout", "coloring")]
-        rows.append([
-            program,
-            _RECORDED[(program, "rpo", "binpack")] / base_b,
-            _RECORDED[(program, "scrambled", "binpack")] / base_b,
-            _RECORDED[(program, "rpo", "coloring")] / base_c,
-            _RECORDED[(program, "scrambled", "coloring")] / base_c,
-        ])
-    table = format_table(
-        ["benchmark", "binpack rpo", "binpack scrambled",
-         "GC rpo", "GC scrambled"],
-        rows,
-        title=("Block-order sensitivity: dynamic instructions relative to "
-               "the frontend layout order (linear scan depends on the "
-               "linear order; coloring is the control)"))
-    emit_table(capsys, "block_order.txt", table)
+def test_block_order_report(results_store, capsys):
+    rows = block_order_rows(results_store)
+    emit_table(capsys, "block_order.txt",
+               render_block_order(results_store))
     for row in rows:
         # Scrambling never changes behaviour, only quality — and it should
         # never *improve* binpacking dramatically.

@@ -8,45 +8,22 @@ the paper highlights that binpack's extra spill often comes from
 resolution stores/loads.
 
 We render the same data as rows (one per benchmark-allocator pair, like
-the figure's ``<name>-b`` / ``<name>-c`` bars).
+the figure's ``<name>-b`` / ``<name>-c`` bars), from store records.
 """
 
-from repro.ir.instr import SpillKind, SpillPhase
-from repro.stats.report import format_table
-from repro.stats.spill import FIGURE3_CATEGORIES, spill_breakdown
+from repro.results.report import FIGURE3_KEYS, figure3_rows, render_figure3
 
 from _harness import bench_program_names, emit_table
 
 
-def _rows(quality_data):
-    rows = []
-    for name in bench_program_names():
-        run = quality_data[name]
-        b = spill_breakdown(run.outcomes["binpack"])
-        c = spill_breakdown(run.outcomes["coloring"])
-        if b.total_spill == 0 and c.total_spill == 0:
-            continue  # the figure covers benchmarks with spill code
-        for tag, breakdown in ((f"{name}-b", b), (f"{name}-c", c)):
-            normalized = breakdown.normalized_to(b)
-            rows.append([tag] + [f"{v:.3f}" for v in normalized]
-                        + [breakdown.total_spill])
-    return rows
-
-
-def test_figure3_report(benchmark, quality_data, capsys):
-    rows = benchmark.pedantic(_rows, args=(quality_data,),
-                              rounds=1, iterations=1, warmup_rounds=0)
-    headers = (["bar"] + [f"{p.value[:7]}.{k.value}s"
-                          for p, k in FIGURE3_CATEGORIES] + ["dyn spill"])
-    table = format_table(
-        headers, rows,
-        title=("Figure 3: spill-code composition, normalized to the "
-               "binpacking total per benchmark (-b = binpack, -c = GC)"))
-    emit_table(capsys, "figure3.txt", table)
+def test_figure3_report(results_store, capsys):
+    names = bench_program_names()
+    rows = figure3_rows(results_store, names)
+    emit_table(capsys, "figure3.txt", render_figure3(results_store, names))
     assert rows, "at least one benchmark must spill"
     # Coloring never inserts resolution code.
-    resolve_columns = [i for i, (p, _) in enumerate(FIGURE3_CATEGORIES, 1)
-                       if p is SpillPhase.RESOLVE]
+    resolve_columns = [i for i, key in enumerate(FIGURE3_KEYS, 1)
+                       if key.startswith("resolve.")]
     for row in rows:
         if row[0].endswith("-c"):
             assert all(float(row[i]) == 0.0 for i in resolve_columns), row
@@ -54,13 +31,4 @@ def test_figure3_report(benchmark, quality_data, capsys):
     for row in rows:
         if row[0].endswith("-b") and row[-1] > 0:
             total = sum(float(row[i]) for i in range(1, 7))
-            assert abs(total - 1.0) < 1e-9, row
-
-
-def test_figure3_normalization_benchmark(benchmark, quality_data):
-    name = bench_program_names()[0]
-    run = quality_data[name]
-    b = spill_breakdown(run.outcomes["binpack"])
-    c = spill_breakdown(run.outcomes["coloring"])
-    result = benchmark(lambda: c.normalized_to(b))
-    assert len(result) == len(FIGURE3_CATEGORIES)
+            assert abs(total - 1.0) < 2e-3, row

@@ -13,62 +13,15 @@ eqntott (whose hot routine needs no spilling).  The measured factor on wc
 is smaller than the paper's 38% — see EXPERIMENTS.md.
 """
 
-import pytest
-
-from repro.allocators import SecondChanceBinpacking, TwoPassBinpacking
-from repro.pipeline import run_allocator
-from repro.sim import simulate
-from repro.sim.machine import outputs_equal
-from repro.stats.report import format_table
-from repro.target import alpha
-from repro.workloads.programs import build_program
+from repro.results.report import render_section31, section31_rows
 
 from _harness import emit_table
 
-_RECORDED: dict[str, dict[str, int]] = {}
 
-
-def _measure(name: str) -> dict[str, int]:
-    cached = _RECORDED.get(name)
-    if cached is not None:
-        return cached
-    machine = alpha()
-    module = build_program(name, machine)
-    reference = simulate(module, machine)
-    counts = {}
-    for key, allocator in (("second-chance", SecondChanceBinpacking()),
-                           ("two-pass", TwoPassBinpacking())):
-        result = run_allocator(module, allocator, machine)
-        outcome = simulate(result.module, machine)
-        assert outputs_equal(outcome.output, reference.output)
-        counts[key] = outcome.dynamic_instructions
-        counts[key + "-cycles"] = outcome.cycles
-    _RECORDED[name] = counts
-    return counts
-
-
-@pytest.mark.parametrize("name", ["wc", "eqntott"])
-def test_twopass_measurement(benchmark, name):
-    counts = benchmark.pedantic(_measure, args=(name,), rounds=1,
-                                iterations=1, warmup_rounds=0)
-    assert counts["second-chance"] > 0
-
-
-def test_section31_report(benchmark, capsys):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
-    rows = []
-    for name in ("wc", "eqntott"):
-        counts = _measure(name)
-        rows.append([name, counts["second-chance"], counts["two-pass"],
-                     counts["two-pass"] / counts["second-chance"],
-                     counts["two-pass-cycles"] / counts["second-chance-cycles"]])
-    table = format_table(
-        ["benchmark", "second-chance instrs", "two-pass instrs",
-         "instr ratio", "cycle ratio"],
-        rows,
-        title=("Section 3.1: two-pass binpacking vs second chance "
-               "(paper: wc 1.38x, eqntott 1.0004x)"))
-    emit_table(capsys, "section31_twopass.txt", table)
+def test_section31_report(results_store, capsys):
+    rows = section31_rows(results_store)
+    emit_table(capsys, "section31_twopass.txt",
+               render_section31(results_store))
     wc_ratio = rows[0][3]
     eqntott_ratio = rows[1][3]
     # The split: wc pays a clear penalty, eqntott essentially none.

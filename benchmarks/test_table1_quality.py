@@ -6,69 +6,36 @@ graph coloring, plus the binpack/GC ratio per metric.  The paper's ratios
 range 1.000–1.086 for instruction counts and 0.966–1.082 for run times.
 
 Here "run time" is simulated cycles under the shared cost model.  The
-benchmark timer measures the full pipeline (allocate + simulate) for one
-representative program per allocator, so ``--benchmark-only`` runs also
-produce a meaningful timing comparison.
+raw cells come from the result store (populated by the session's suite
+run, see ``conftest.py``); this module only renders and asserts.
 """
 
-import pytest
-
-from repro.allocators import GraphColoring, SecondChanceBinpacking
-from repro.pipeline import run_allocator
-from repro.sim import simulate
-from repro.stats.report import format_table
-from repro.target import alpha
-from repro.workloads.programs import build_program
+from repro.results.report import render_table1, table1_rows
+from repro.results.store import CellKey
 
 from _harness import bench_program_names, emit_table
 
 
-def _table1_rows(quality_data):
-    rows = []
-    for name in bench_program_names():
-        run = quality_data[name]
-        b = run.outcomes["binpack"]
-        c = run.outcomes["coloring"]
-        rows.append([
-            name,
-            b.dynamic_instructions, c.dynamic_instructions,
-            b.dynamic_instructions / c.dynamic_instructions,
-            b.cycles, c.cycles,
-            b.cycles / c.cycles,
-        ])
-    return rows
-
-
-def test_table1_report(benchmark, quality_data, capsys):
-    rows = benchmark.pedantic(_table1_rows, args=(quality_data,),
-                              rounds=1, iterations=1, warmup_rounds=0)
-    table = format_table(
-        ["benchmark", "binpack instrs", "GC instrs", "ratio",
-         "binpack cycles", "GC cycles", "ratio"],
-        rows,
-        title=("Table 1: dynamic instruction counts and simulated run time "
-               "(binpack = second-chance binpacking, GC = graph coloring)"))
-    emit_table(capsys, "table1.txt", table)
+def test_table1_report(results_store, capsys):
+    names = bench_program_names()
+    emit_table(capsys, "table1.txt", render_table1(results_store, names))
     # Shape assertions mirroring the paper's headline: near-parity, with
     # coloring usually slightly ahead but never by a large factor.
-    for row in rows:
+    for row in table1_rows(results_store, names):
         instr_ratio = row[3]
         assert 0.90 <= instr_ratio <= 1.15, row
 
 
-@pytest.mark.parametrize("allocator_cls", [SecondChanceBinpacking,
-                                           GraphColoring],
-                         ids=["binpack", "coloring"])
-def test_table1_pipeline_benchmark(benchmark, allocator_cls):
-    """Times allocate+simulate on the doduc analog (one round per
-    allocator — the cross-allocator comparison is the point)."""
-    machine = alpha()
-    module = build_program("doduc", machine)
-
-    def pipeline():
-        result = run_allocator(module, allocator_cls(), machine)
-        return simulate(result.module, machine).dynamic_instructions
-
-    count = benchmark.pedantic(pipeline, rounds=3, iterations=1,
-                               warmup_rounds=0)
-    assert count > 10_000
+def test_table1_cells_are_joinable(results_store):
+    """Every quality cell embeds the metrics snapshot and the phase
+    breakdown, so quality and compile-time numbers join per record."""
+    for name in bench_program_names():
+        for allocator in ("second-chance", "coloring"):
+            record = results_store.peek(
+                CellKey(workload=f"analog:{name}", allocator=allocator))
+            assert record is not None, (name, allocator)
+            assert record.data["dynamic_instructions"] > 10_000
+            assert record.data["metrics"], "metrics snapshot missing"
+            profile = record.data["profile"]
+            assert profile["allocate_s"] >= profile["resolve_s"] >= 0.0
+            assert profile["setup_s"] >= 0.0

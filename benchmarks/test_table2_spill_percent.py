@@ -6,36 +6,18 @@ fpppp is the outlier at 18.6% (binpack) / 13.4% (coloring).
 
 Our analogs reproduce the split between a low-spill majority and a
 heavy-spill fpppp; exact percentages differ (DESIGN.md Section 7).  The
-timed portion benchmarks the spill accounting itself.
+cells come from the result store; this module renders and asserts.
 """
 
-from repro.stats.report import format_table
-from repro.stats.spill import spill_breakdown
+from repro.results.report import render_table2, table2_rows
 
 from _harness import bench_program_names, emit_table
 
 
-def _rows(quality_data):
-    rows = []
-    for name in bench_program_names():
-        run = quality_data[name]
-        b = spill_breakdown(run.outcomes["binpack"])
-        c = spill_breakdown(run.outcomes["coloring"])
-        rows.append([name,
-                     f"{100 * b.fraction():.3f}%",
-                     f"{100 * c.fraction():.3f}%"])
-    return rows
-
-
-def test_table2_report(benchmark, quality_data, capsys):
-    rows = benchmark.pedantic(_rows, args=(quality_data,),
-                              rounds=1, iterations=1, warmup_rounds=0)
-    table = format_table(
-        ["benchmark", "binpack spill", "GC spill"],
-        rows,
-        title=("Table 2: percentage of total dynamic instructions due to "
-               "spill code (allocation candidates only)"))
-    emit_table(capsys, "table2.txt", table)
+def test_table2_report(results_store, capsys):
+    names = bench_program_names()
+    rows = table2_rows(results_store, names)
+    emit_table(capsys, "table2.txt", render_table2(results_store, names))
     by_name = {row[0]: row for row in rows}
     # fpppp is the heavy-spill outlier for both allocators.
     if "fpppp" in by_name:
@@ -44,11 +26,3 @@ def test_table2_report(benchmark, quality_data, capsys):
     # Most benchmarks stay in the low single digits.
     low = sum(1 for row in rows if float(row[2].rstrip("%")) < 2.0)
     assert low >= len(rows) - 2
-
-
-def test_table2_accounting_benchmark(benchmark, quality_data):
-    """Times the Figure-3/Table-2 accounting pass over one outcome."""
-    name = bench_program_names()[0]
-    outcome = quality_data[name].outcomes["binpack"]
-    breakdown = benchmark(lambda: spill_breakdown(outcome))
-    assert breakdown.total_dynamic == outcome.dynamic_instructions

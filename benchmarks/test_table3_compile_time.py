@@ -7,149 +7,35 @@ edges) coloring is ~2.4x and ~3.5x *slower* (8.8s vs 3.7s, 15.8s vs
 4.5s).  "A coloring allocator slows down significantly as the complexity
 of the interference graph increases."
 
-We time the allocator cores (setup analyses excluded, as in Section 3.2)
-on synthetic modules built to the paper's candidate counts, with
-interference density growing with size.  Each cell is the **median of at
-least three repetitions**, each measured through the phase profiler's
-``allocate`` span (the same clock ``alloc_seconds`` is defined by), so a
-single noisy run cannot skew a ratio.  The reproduced *shape*: rough
-parity at 245 candidates and a large coloring penalty at ~6200+.
-
-All cells of one size share a :class:`CompilationSession` — the setup
-analyses are computed once per module and *transferred* onto each
-repetition's clone, the same analyze-once discipline the paper's timing
-methodology assumes.  The report therefore splits timing three ways:
-
-* **shared setup** — computing CFG/liveness/loops/lifetimes once, paid
-  one time per module no matter how many allocators run;
-* **per-run setup** — rebinding the cached analyses onto a run's clone
-  (the marginal setup cost of one more allocator run);
-* **allocator core** — the paper's timed region.
-
-The split is persisted to ``benchmarks/results/table3.txt``.
+The timing cells live in the result store (kind=``timing``): one warm
+:class:`CompilationSession` per cell, the allocator core re-run at least
+three times through the phase profiler's ``allocate`` span, the median
+recorded together with the shared-setup / per-run-setup / allocator-core
+split (Section 3.2's analyze-once discipline).  This module renders the
+comparison and asserts the paper's *shape*: rough parity at 245
+candidates, a large coloring penalty at ~6200+.
 """
 
-import os
-import statistics
+from repro.results.report import render_table3, table3_rows
+from repro.results.store import CellKey
+from repro.results.suite import TABLE3_SIZES
 
-import pytest
-
-from repro.allocators import GraphColoring, SecondChanceBinpacking
-from repro.allocators.base import allocate_module
-from repro.obs import PhaseProfiler
-from repro.pm.session import CompilationSession
-from repro.stats.report import format_table
-from repro.target import alpha
-from repro.workloads.synthetic import scaled_module
-
-from _harness import emit_table
-
-#: The paper's three module sizes (espresso cvrin.c, fpppp twldrv.f,
-#: fpppp fpppp.f).
-SIZES = [245, 6218, 6697]
-
-#: Timing repetitions per cell; the reported core time is the median.
-REPETITIONS = max(3, int(os.environ.get("REPRO_TABLE3_REPS", "3")))
-
-_RECORDED: dict[tuple[str, int], dict] = {}
-
-#: One compilation session per module size, shared by both allocators'
-#: cells — plus the one-time cost of computing its analyses cold.
-_SESSIONS: dict[int, CompilationSession] = {}
-_SETUP_COLD: dict[int, float] = {}
+from _harness import emit_table, table3_reps
 
 
-def _session(n: int) -> CompilationSession:
-    session = _SESSIONS.get(n)
-    if session is None:
-        session = CompilationSession(scaled_module(n), alpha())
-        profiler = PhaseProfiler()
-        with profiler.phase("setup"):
-            for fn in session.module.functions.values():
-                session.shared(fn, profiler=profiler)
-        _SETUP_COLD[n] = profiler.seconds("setup")
-        _SESSIONS[n] = session
-    return session
+def _timing_record(store, n: int, allocator: str):
+    record = store.peek(CellKey(workload=f"synthetic:{n}",
+                                allocator=allocator, kind="timing",
+                                reps=table3_reps()))
+    assert record is not None, (n, allocator)
+    return record.data
 
 
-def _run_core(n: int, allocator_factory):
-    session = _session(n)
-    instr_map: dict = {}
-    working = session.module.clone(instr_map)
-    for name, fn in working.functions.items():
-        session.analyses.link_clone(session.module.functions[name], fn,
-                                    instr_map)
-    profiler = PhaseProfiler()
-    stats = allocate_module(working, allocator_factory(), alpha(),
-                            profiler=profiler, session=session)
-    # alloc_seconds *is* the profiler's "allocate" phase measurement;
-    # assert the identity so the benchmark numbers stay anchored to the
-    # instrumentation they claim to come from.
-    assert abs(stats.alloc_seconds - profiler.seconds("allocate")) < 1e-9
-    return stats, profiler.seconds("setup")
-
-
-@pytest.mark.parametrize("n", SIZES)
-@pytest.mark.parametrize("allocator_factory",
-                         [SecondChanceBinpacking, GraphColoring],
-                         ids=["binpack", "coloring"])
-def test_table3_core_timing(benchmark, allocator_factory, n):
-    """One benchmark per (allocator, size) cell of Table 3."""
-    samples = []
-    setup_samples = []
-
-    def one_rep():
-        stats, setup_seconds = _run_core(n, allocator_factory)
-        samples.append(stats)
-        setup_samples.append(setup_seconds)
-        return stats
-
-    benchmark.pedantic(one_rep, rounds=REPETITIONS, iterations=1,
-                       warmup_rounds=0)
-    stats = samples[-1]
-    key = (stats.allocator, n)
-    _RECORDED[key] = {
-        "core_seconds": statistics.median(s.alloc_seconds for s in samples),
-        # Every rep runs against the warm session, so this is the
-        # *per-run* (transfer) setup cost, not the cold computation.
-        "setup_seconds": statistics.median(setup_samples),
-        "repetitions": len(samples),
-        "candidates": stats.total_candidates(),
-        "edges": sum(stats.interference_edges.values()),
-        "rounds": sum(stats.coloring_iterations.values()),
-    }
-
-
-def test_table3_report(benchmark, capsys):
-    """Assembles the comparison from the timing cells above."""
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1, warmup_rounds=0)
-    missing = [(alloc, n) for n in SIZES
-               for alloc in ("second-chance binpacking", "graph coloring")
-               if (alloc, n) not in _RECORDED]
-    if missing:
-        pytest.skip(f"timing cells not run: {missing}")
-    reps = min(_RECORDED[key]["repetitions"] for key in _RECORDED)
+def test_table3_report(results_store, capsys):
+    rows, reps = table3_rows(results_store, reps=table3_reps())
     assert reps >= 3, "each Table 3 cell must be timed at least 3 times"
-    rows = []
-    for n in SIZES:
-        b = _RECORDED[("second-chance binpacking", n)]
-        c = _RECORDED[("graph coloring", n)]
-        per_run_setup = max(b["setup_seconds"], c["setup_seconds"])
-        rows.append([n, b["candidates"], c["edges"], c["rounds"],
-                     round(_SETUP_COLD.get(n, 0.0), 3),
-                     round(per_run_setup, 4),
-                     round(c["core_seconds"], 3), round(b["core_seconds"], 3),
-                     c["core_seconds"] / max(b["core_seconds"], 1e-9)])
-    table = format_table(
-        ["target candidates", "candidates", "if-graph edges",
-         "color rounds", "shared setup (s)", "per-run setup (s)",
-         "GC core (s)", "binpack core (s)", "GC/binpack"],
-        rows,
-        title=("Table 3: allocation-core time vs problem size "
-               f"(median of {reps} repetitions per cell; shared setup paid "
-               "once per module, per-run setup is the cached-analysis "
-               "rebind each repetition pays)"))
-    emit_table(capsys, "table3.txt", table)
+    emit_table(capsys, "table3.txt",
+               render_table3(results_store, reps=table3_reps()))
     small, large = rows[0], rows[-1]
     # The paper's shape: coloring competitive on the small module...
     assert small[-1] < 3.0
@@ -157,9 +43,25 @@ def test_table3_report(benchmark, capsys):
     assert large[-1] > 3.0
     # And coloring's slowdown grows with size.
     assert large[-1] > small[-1]
-    # The session discipline: rebinding cached analyses onto a clone must
-    # be much cheaper than computing them (the point of the cache).
-    for n in SIZES:
-        b = _RECORDED[("second-chance binpacking", n)]
-        assert b["setup_seconds"] <= max(_SETUP_COLD[n], 1e-4), (
+
+
+def test_table3_setup_discipline(results_store):
+    """Rebinding cached analyses onto a clone must be much cheaper than
+    computing them (the point of the session cache)."""
+    for n in TABLE3_SIZES:
+        b = _timing_record(results_store, n, "second-chance")
+        assert b["setup_seconds"] <= max(b["shared_setup_seconds"], 1e-4), (
             "per-run setup should not exceed the one-time computation")
+
+
+def test_table3_problem_sizes(results_store):
+    """The synthetic modules hit the paper's candidate counts and the
+    interference graph grows superlinearly with them."""
+    for n in TABLE3_SIZES:
+        b = _timing_record(results_store, n, "second-chance")
+        c = _timing_record(results_store, n, "coloring")
+        assert abs(b["candidates"] - n) <= max(64, n // 10)
+        assert b["candidates"] == c["candidates"]
+    edges = [_timing_record(results_store, n, "coloring")["edges"]
+             for n in TABLE3_SIZES]
+    assert edges[0] < edges[1] < edges[2]

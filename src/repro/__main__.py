@@ -16,7 +16,14 @@ Subcommands:
                           (assigns, evictions, reloads, resolution
                           fixes) as they happen, plus a count summary;
 * ``profile FILE.mc``   — per-phase wall-clock profile of the pipeline
-                          and the counters every layer published.
+                          and the counters every layer published;
+* ``suite [NAME ...]``  — run a declarative benchmark suite into the
+                          persistent result store, computing only
+                          cache-miss cells (``repro suite quick``);
+* ``report``            — render every table/figure of the evaluation
+                          from the result store; ``--check`` diffs them
+                          against the checked-in goldens, ``--diff A B``
+                          compares two suite runs (docs/REPORTING.md).
 
 Options shared by all subcommands: ``--machine alpha|tiny`` (default
 alpha), ``--allocator second-chance|two-pass|coloring|poletto`` (default
@@ -266,6 +273,81 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.results import ResultStore, run_suite
+    from repro.results.suite import SUITES, dedup_specs
+
+    specs = []
+    for name in (args.names or ["quick"]):
+        try:
+            build = SUITES[name]
+        except KeyError:
+            raise SystemExit(f"unknown suite {name!r}; choose from "
+                             f"{', '.join(SUITES)}")
+        specs.extend(build(reps=args.reps))
+    specs = dedup_specs(specs)
+    store = ResultStore(args.store)
+    say = (lambda msg: print(msg, file=sys.stderr)) if args.verbose \
+        else (lambda msg: None)
+    outcome = run_suite(specs, store, jobs=args.jobs,
+                        label=" ".join(args.names or ["quick"]),
+                        progress=say)
+    print(outcome.summary())
+    print(f"store: {store.root} ({len(store)} cells)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.results import (MissingCells, ResultStore,
+                               check_against_goldens, diff_runs, render_all,
+                               render_perf_trajectory, render_runs)
+    from repro.results.suite import FAST_SET
+
+    store = ResultStore(args.store)
+    if args.runs:
+        print(render_runs(store))
+        return 0
+    if args.diff:
+        try:
+            print(diff_runs(store, *args.diff))
+        except LookupError as exc:
+            raise SystemExit(str(exc))
+        return 0
+    names = list(FAST_SET)
+    if args.set == "full":
+        from repro.workloads.programs import PROGRAM_NAMES
+        names = list(PROGRAM_NAMES)
+    try:
+        rendered = render_all(store, names)
+    except MissingCells as exc:
+        raise SystemExit(f"report: {exc}")
+    if args.out:
+        import os
+        os.makedirs(args.out, exist_ok=True)
+        for filename, text in rendered.items():
+            with open(os.path.join(args.out, filename), "w") as fh:
+                fh.write(text + "\n")
+        print(f"wrote {len(rendered)} artifact(s) to {args.out}")
+    else:
+        for filename, text in rendered.items():
+            print(text)
+            print()
+    if args.perf:
+        print(render_perf_trajectory(store))
+        print()
+    if args.check is not None:
+        golden_dir = args.check or "benchmarks/results"
+        failures = check_against_goldens(rendered, golden_dir)
+        if failures:
+            for line in failures:
+                print(f"FAIL: {line}", file=sys.stderr)
+            return 1
+        print(f"all {len(rendered)} artifact(s) match the goldens "
+              f"in {golden_dir} (timing artifacts on their deterministic "
+              f"columns)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -363,6 +445,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-seed progress on stderr")
     jobs_option(fuzz_p)
     fuzz_p.set_defaults(func=cmd_fuzz)
+
+    def store_option(p: argparse.ArgumentParser):
+        p.add_argument("--store", metavar="DIR", default=None,
+                       help="result-store root (default: "
+                            "$REPRO_RESULT_STORE or "
+                            "benchmarks/results/store)")
+
+    suite_p = sub.add_parser(
+        "suite", help="run a declarative benchmark suite into the result "
+                      "store (only cache-miss cells are computed)")
+    suite_p.add_argument("names", nargs="*", metavar="SUITE",
+                         help="suite name(s): quick, full (default: quick)")
+    suite_p.add_argument("--reps", type=int, default=3, metavar="N",
+                         help="repetitions per timing cell (default: 3)")
+    suite_p.add_argument("--verbose", action="store_true",
+                         help="per-cell progress on stderr")
+    store_option(suite_p)
+    jobs_option(suite_p)
+    suite_p.set_defaults(func=cmd_suite)
+
+    report_p = sub.add_parser(
+        "report", help="render the evaluation's tables and figures from "
+                       "the result store")
+    report_p.add_argument("--set", default="fast", choices=["fast", "full"],
+                          help="analog set for the quality tables "
+                               "(default: fast — the goldens' subset)")
+    report_p.add_argument("--out", metavar="DIR", default=None,
+                          help="write artifacts to DIR instead of stdout")
+    report_p.add_argument("--check", nargs="?", const="", metavar="DIR",
+                          help="diff artifacts against the goldens "
+                               "(default: benchmarks/results); exit 1 on "
+                               "any mismatch")
+    report_p.add_argument("--diff", nargs=2, metavar=("RUN_A", "RUN_B"),
+                          help="regression report between two suite runs "
+                               "(see `report --runs` for ids)")
+    report_p.add_argument("--runs", action="store_true",
+                          help="list the store's suite runs")
+    report_p.add_argument("--perf", action="store_true",
+                          help="append the perf trajectory "
+                               "(BENCH_*.json + stored perf records)")
+    store_option(report_p)
+    report_p.set_defaults(func=cmd_report)
     return parser
 
 

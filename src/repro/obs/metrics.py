@@ -58,6 +58,17 @@ class MetricsRegistry:
         """An immutable-by-copy view of every counter right now."""
         return dict(self._values)
 
+    def restore(self, snapshot: dict[str, Number]) -> "MetricsRegistry":
+        """Replace every counter with ``snapshot`` (the inverse of
+        :meth:`snapshot`).  This is how batch workers ship their counters
+        across process boundaries: a worker returns plain
+        ``metrics.snapshot()`` data in its payload and the parent
+        rebuilds a registry with ``MetricsRegistry().restore(...)`` —
+        no global registry, no leaks between cells.  Returns ``self``
+        so the rebuild is a one-liner."""
+        self._values = dict(snapshot)
+        return self
+
     def diff(self, before: dict[str, Number]) -> dict[str, Number]:
         """Counters that moved since ``before`` (a :meth:`snapshot`),
         mapped to their delta.  Unchanged counters are omitted."""

@@ -1,0 +1,330 @@
+"""The persistent result store: content-addressed, append-only run records.
+
+Every observable the evaluation reports — a Table 1 quality cell, a
+Table 3 timing cell, a perf-bench run — is one *record* in this store.
+Records live in append-only JSONL segment files (one segment per suite
+invocation), and an index maps each logical *cell* to its newest record:
+
+* **cell key** (:class:`CellKey`) — the coordinates of one measurement:
+  workload (``analog:doduc``, ``synthetic:6218``, ``fuzz:7``), block
+  order, machine, allocator, :class:`BinpackOptions` deviations from the
+  defaults, pipeline flags, and the record kind (``quality`` /
+  ``timing`` / ``perf``).  The key is pure data and its :meth:`ident`
+  string is stable across processes and ``PYTHONHASHSEED`` values.
+* **code hash** — a SHA-256 over the workload's printed IR and the
+  machine signature.  A record only *hits* when its stored code hash
+  matches the current one; a mismatch (the generator changed, an analog
+  was edited, ``BinpackOptions`` semantics moved the printed module)
+  counts as an invalidation and forces a recompute.  This is what makes
+  re-runs touch only what changed.
+
+Store layout (all plain JSON, ``sort_keys=True`` everywhere so the files
+are byte-stable)::
+
+    <root>/segments/seg-r0001.jsonl   one record per line, append-only
+    <root>/runs.jsonl                 one manifest per suite invocation
+    <root>/index.json                 ident -> newest record seq (a cache;
+                                      rebuilt from the segments on open)
+
+Store behaviour is metered through :mod:`repro.obs.metrics` as
+``results.cells.computed`` / ``.hits`` / ``.invalidated``.
+
+See ``docs/REPORTING.md`` for the record schema and a cookbook.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Bumped when the record layout changes incompatibly; old records then
+#: simply never hit and are recomputed into new segments.
+SCHEMA_VERSION = 1
+
+#: Environment override for the default store location.
+STORE_ENV = "REPRO_RESULT_STORE"
+
+#: The default store root, relative to the working directory (the repo
+#: root in every documented workflow).
+DEFAULT_STORE = Path("benchmarks") / "results" / "store"
+
+
+def store_path(root: str | os.PathLike | None = None) -> Path:
+    """Resolve the store root: explicit arg, ``$REPRO_RESULT_STORE``,
+    then the checked-in default under ``benchmarks/results/store``."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(STORE_ENV)
+    if env:
+        return Path(env)
+    return DEFAULT_STORE
+
+
+def content_hash(*parts: str) -> str:
+    """SHA-256 over ``parts`` (joined with NUL so boundaries matter)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """The coordinates of one measurement cell.
+
+    ``options`` holds only the :class:`BinpackOptions` fields that
+    *differ* from the defaults, as a sorted tuple of ``(name, value)``
+    pairs, so semantically identical configurations always produce the
+    same key no matter how they were spelled.
+    """
+
+    workload: str              # "analog:doduc" | "synthetic:6218" | "fuzz:7"
+    allocator: str             # allocator registry name ("second-chance", ...)
+    machine: str = "alpha"     # "alpha" | "tiny:8x8" | "auto" (fuzz-derived)
+    options: tuple[tuple[str, Any], ...] = ()
+    spill_cleanup: bool = False
+    order: str = "layout"      # block order: layout | rpo | scrambled
+    kind: str = "quality"      # quality | timing | perf
+    reps: int = 0              # timing cells: repetitions the medians cover
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options",
+                           tuple(sorted((str(k), v) for k, v in self.options)))
+
+    def ident(self) -> str:
+        """The stable index string for this cell (no hashing involved,
+        so it is also human-greppable in the segment files)."""
+        opts = ",".join(f"{k}={v}" for k, v in self.options) or "-"
+        return (f"{self.kind}|{self.workload}|{self.order}|{self.machine}"
+                f"|{self.allocator}|{opts}"
+                f"|cleanup={int(self.spill_cleanup)}|reps={self.reps}")
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "allocator": self.allocator,
+            "machine": self.machine,
+            "options": [[k, v] for k, v in self.options],
+            "spill_cleanup": self.spill_cleanup,
+            "order": self.order,
+            "kind": self.kind,
+            "reps": self.reps,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CellKey":
+        return cls(workload=doc["workload"], allocator=doc["allocator"],
+                   machine=doc["machine"],
+                   options=tuple((k, v) for k, v in doc["options"]),
+                   spill_cleanup=doc["spill_cleanup"], order=doc["order"],
+                   kind=doc["kind"], reps=doc["reps"])
+
+
+@dataclass
+class Record:
+    """One stored measurement: a key, the code hash it was computed
+    against, and the measurement payload."""
+
+    seq: int
+    run: str
+    ident: str
+    code_hash: str
+    key: CellKey
+    data: dict[str, Any]
+    schema: int = SCHEMA_VERSION
+
+    def to_json(self) -> dict:
+        return {"seq": self.seq, "run": self.run, "ident": self.ident,
+                "code_hash": self.code_hash, "key": self.key.to_json(),
+                "data": self.data, "schema": self.schema}
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Record":
+        return cls(seq=doc["seq"], run=doc["run"], ident=doc["ident"],
+                   code_hash=doc["code_hash"],
+                   key=CellKey.from_json(doc["key"]), data=doc["data"],
+                   schema=doc.get("schema", 0))
+
+
+class ResultStore:
+    """Append-only store of measurement records under one root directory.
+
+    Opening a store scans its segment files (newest record per cell
+    wins) and rewrites nothing; every mutation is an append.  The
+    ``index.json`` written after each run is a convenience snapshot for
+    humans and external tools — correctness never depends on it.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 metrics: MetricsRegistry | None = None):
+        self.root = store_path(root)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._records: dict[int, Record] = {}       # seq -> record
+        self._latest: dict[str, int] = {}           # ident -> newest seq
+        self._runs: list[dict] = []                 # manifests, oldest first
+        self._next_seq = 1
+        self._open_segment = None                   # (run_id, file handle)
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Loading.
+    # ------------------------------------------------------------------
+    @property
+    def segments_dir(self) -> Path:
+        return self.root / "segments"
+
+    def _load(self) -> None:
+        if not self.segments_dir.is_dir():
+            return
+        for segment in sorted(self.segments_dir.glob("seg-*.jsonl")):
+            with open(segment) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = Record.from_json(json.loads(line))
+                    if record.schema != SCHEMA_VERSION:
+                        continue
+                    self._records[record.seq] = record
+                    self._latest[record.ident] = record.seq
+                    self._next_seq = max(self._next_seq, record.seq + 1)
+        runs_file = self.root / "runs.jsonl"
+        if runs_file.is_file():
+            with open(runs_file) as fh:
+                self._runs = [json.loads(line) for line in fh
+                              if line.strip()]
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._latest)
+
+    def lookup(self, key: CellKey, code_hash: str) -> Record | None:
+        """The newest record for ``key`` if its code hash still matches.
+
+        A match is a *hit* (``results.cells.hits``); a stale hash is an
+        *invalidation* (``results.cells.invalidated``) and returns
+        ``None`` so the caller recomputes.  An absent cell is silent —
+        the suite runner counts the compute itself.
+        """
+        seq = self._latest.get(key.ident())
+        if seq is None:
+            return None
+        record = self._records[seq]
+        if record.code_hash != code_hash:
+            self.metrics.bump("results.cells.invalidated")
+            return None
+        self.metrics.bump("results.cells.hits")
+        return record
+
+    def peek(self, key: CellKey) -> Record | None:
+        """The newest record for ``key`` regardless of code hash
+        (reporting reads the store as-is; only *execution* revalidates)."""
+        seq = self._latest.get(key.ident())
+        return self._records[seq] if seq is not None else None
+
+    def record(self, seq: int) -> Record | None:
+        return self._records.get(seq)
+
+    def history(self, key: CellKey) -> list[Record]:
+        """Every stored record for ``key``, oldest first (the append-only
+        log is the trajectory; perf records use this)."""
+        ident = key.ident()
+        return sorted((r for r in self._records.values()
+                       if r.ident == ident), key=lambda r: r.seq)
+
+    def iter_latest(self) -> Iterator[Record]:
+        """Newest record of every cell, in first-seen order."""
+        for seq in self._latest.values():
+            yield self._records[seq]
+
+    def runs(self) -> list[dict]:
+        """Run manifests, oldest first."""
+        return list(self._runs)
+
+    def manifest(self, run_id: str) -> dict | None:
+        for doc in self._runs:
+            if doc["run"] == run_id:
+                return doc
+        return None
+
+    # ------------------------------------------------------------------
+    # Writing (append-only).
+    # ------------------------------------------------------------------
+    def next_run_id(self) -> str:
+        return f"r{len(self._runs) + 1:04d}"
+
+    def begin_run(self, label: str = "") -> str:
+        """Open a new segment for one suite invocation's records."""
+        if self._open_segment is not None:
+            raise RuntimeError("a run is already open on this store")
+        run_id = self.next_run_id()
+        self.segments_dir.mkdir(parents=True, exist_ok=True)
+        handle = open(self.segments_dir / f"seg-{run_id}.jsonl", "a")
+        self._open_segment = (run_id, handle, label, {})
+        return run_id
+
+    def put(self, key: CellKey, code_hash: str, data: dict) -> Record:
+        """Append one computed record to the open run's segment."""
+        if self._open_segment is None:
+            raise RuntimeError("begin_run() before put()")
+        run_id, handle, _label, cells = self._open_segment
+        record = Record(seq=self._next_seq, run=run_id, ident=key.ident(),
+                        code_hash=code_hash, key=key, data=data)
+        handle.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+        handle.flush()
+        self._records[record.seq] = record
+        self._latest[record.ident] = record.seq
+        self._next_seq += 1
+        cells[record.ident] = record.seq
+        self.metrics.bump("results.cells.computed")
+        return record
+
+    def note_hit(self, key: CellKey, record: Record) -> None:
+        """Register a cache hit in the open run's manifest, so ``--diff``
+        can compare complete runs even when nothing was recomputed."""
+        if self._open_segment is None:
+            return
+        self._open_segment[3][key.ident()] = record.seq
+
+    def finish_run(self, stats: dict | None = None) -> dict:
+        """Close the open segment and append the run manifest."""
+        if self._open_segment is None:
+            raise RuntimeError("no open run to finish")
+        run_id, handle, label, cells = self._open_segment
+        handle.close()
+        self._open_segment = None
+        manifest = {"run": run_id, "label": label,
+                    "cells": dict(sorted(cells.items())),
+                    "stats": stats or {}}
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / "runs.jsonl", "a") as fh:
+            fh.write(json.dumps(manifest, sort_keys=True) + "\n")
+        self._runs.append(manifest)
+        self._write_index()
+        return manifest
+
+    def _write_index(self) -> None:
+        """Snapshot the ident -> seq map (with code hashes) for humans
+        and external tools; :meth:`_load` never trusts it."""
+        index = {ident: {"seq": seq,
+                         "code_hash": self._records[seq].code_hash,
+                         "run": self._records[seq].run}
+                 for ident, seq in sorted(self._latest.items())}
+        doc = {"schema": SCHEMA_VERSION, "records": len(self._records),
+               "runs": len(self._runs), "cells": index}
+        with open(self.root / "index.json", "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+__all__ = ["CellKey", "Record", "ResultStore", "SCHEMA_VERSION",
+           "STORE_ENV", "DEFAULT_STORE", "content_hash", "store_path"]

@@ -18,24 +18,35 @@ Each benchmark reports the **median of N reps** so one noisy rep cannot
 flake CI.  Results land in a JSON document; ``--record FILE --phase
 before|after`` folds the run into a trajectory file like ``BENCH_5.json``
 (and computes speedups when both phases are present), while ``--check
-FILE`` compares the current run against the file's recorded medians and
+BASELINE`` compares the current run against the recorded medians and
 fails on a >``--max-slowdown`` ratio (ratio-based, so absolute runner
 speed does not matter).
+
+``--record auto`` resolves the trajectory file itself: ``--phase
+before`` starts the *next* point (``BENCH_{max+1}.json``), ``--phase
+after`` folds into the newest existing one — no more hand-numbering.
+``--store DIR`` appends the run to the result store as a ``kind="perf"``
+record (``repro report --perf`` renders the accumulated trajectory), and
+``--check`` accepts either a ``BENCH_*.json`` file or a store directory
+(baseline = the store's newest perf record).
 
 Usage::
 
     PYTHONPATH=src python tools/perf_bench.py [--quick] [--reps N]
-        [--out RUN.json] [--record BENCH_5.json --phase after]
-        [--check BENCH_5.json [--max-slowdown 1.5]]
+        [--out RUN.json] [--record BENCH_5.json|auto --phase after]
+        [--check BENCH_5.json|STORE_DIR [--max-slowdown 1.5]]
+        [--store benchmarks/results/store]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import statistics
 import sys
 import time
+from pathlib import Path
 
 from repro.lifetimes import compute_lifetimes
 from repro.pm.batch import compare_allocators
@@ -141,6 +152,60 @@ def run_suite(*, quick: bool = False, reps: int = 3,
 # ----------------------------------------------------------------------
 # Trajectory files (BENCH_*.json) and the CI regression gate.
 # ----------------------------------------------------------------------
+def _bench_numbers(repo_root: str | Path = ".") -> list[tuple[int, Path]]:
+    pairs = []
+    for path in Path(repo_root).glob("BENCH_*.json"):
+        match = re.fullmatch(r"BENCH_(\d+)", path.stem)
+        if match:
+            pairs.append((int(match.group(1)), path))
+    return sorted(pairs)
+
+
+def resolve_record_path(spec: str, phase: str,
+                        repo_root: str | Path = ".") -> str:
+    """Resolve ``--record auto``: ``before`` opens the next trajectory
+    point (``BENCH_{max+1}.json``), ``after`` folds into the newest
+    existing file (or starts ``BENCH_1.json`` on an empty repo)."""
+    if spec != "auto":
+        return spec
+    existing = _bench_numbers(repo_root)
+    if phase == "before" or not existing:
+        nxt = existing[-1][0] + 1 if existing else 1
+        return str(Path(repo_root) / f"BENCH_{nxt}.json")
+    return str(existing[-1][1])
+
+
+def store_run(store_dir: str, run: dict) -> None:
+    """Append ``run`` to the result store as one ``kind="perf"`` record
+    (its own single-cell store run, so manifests stay per-invocation)."""
+    from repro.results.store import CellKey, ResultStore, content_hash
+
+    store = ResultStore(store_dir)
+    key = CellKey(workload=f"perf:{run['mode']}", allocator="suite",
+                  machine="host", kind="perf", reps=run["reps"])
+    run_id = store.begin_run(label="perf-bench")
+    store.put(key, content_hash(run["mode"], str(run["reps"])), run)
+    store.finish_run({"computed": 1, "hits": 0, "invalidated": 0})
+    print(f"recorded perf run {run_id} in store {store.root}")
+
+
+def _load_baseline(path: str) -> dict:
+    """Baseline run document from a ``BENCH_*.json`` file or, given a
+    store directory, the store's newest perf record."""
+    p = Path(path)
+    if p.is_dir():
+        from repro.results.store import ResultStore
+
+        perf = [r for r in ResultStore(p).iter_latest()
+                if r.key.kind == "perf"]
+        if not perf:
+            raise FileNotFoundError(f"no perf records in store {p}")
+        return max(perf, key=lambda r: r.seq).data
+    with open(p) as fh:
+        doc = json.load(fh)
+    return doc.get("after") or doc.get("before") or doc
+
+
 def fold_into(path: str, phase: str, run: dict) -> dict:
     """Insert ``run`` as the ``phase`` of trajectory file ``path``.
 
@@ -188,9 +253,7 @@ def check_against(baseline_path: str, run: dict,
     compared benchmarks**: a uniformly slower runner cancels out, while
     one regressed kernel stands out against the rest.
     """
-    with open(baseline_path) as fh:
-        doc = json.load(fh)
-    baseline = doc.get("after") or doc.get("before") or doc
+    baseline = _load_baseline(baseline_path)
     base_cells = baseline.get("benchmarks", {})
     same_mode = baseline.get("mode") == run["mode"]
     ratios: dict[str, tuple[float, float, float]] = {}
@@ -243,13 +306,20 @@ def main(argv: list[str] | None = None) -> int:
                              "(default: 3)")
     parser.add_argument("--out", metavar="RUN.json",
                         help="write this run's document to RUN.json")
-    parser.add_argument("--record", metavar="BENCH.json",
-                        help="fold the run into a trajectory file")
+    parser.add_argument("--record", metavar="BENCH.json|auto",
+                        help="fold the run into a trajectory file; 'auto' "
+                             "picks BENCH_{max+1}.json for --phase before "
+                             "and the newest existing file for after")
     parser.add_argument("--phase", choices=["before", "after"],
                         default="after",
                         help="which phase --record fills (default: after)")
-    parser.add_argument("--check", metavar="BENCH.json",
-                        help="fail on regression vs the recorded medians")
+    parser.add_argument("--check", metavar="BENCH.json|STORE_DIR",
+                        help="fail on regression vs the recorded medians "
+                             "(a store directory checks against its "
+                             "newest perf record)")
+    parser.add_argument("--store", metavar="DIR",
+                        help="append the run to a result store as a "
+                             "kind='perf' record")
     parser.add_argument("--max-slowdown", type=float, default=1.5,
                         help="--check failure threshold as a ratio "
                              "(default: 1.5)")
@@ -266,8 +336,13 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.out, "w") as fh:
             json.dump(run, fh, indent=2)
             fh.write("\n")
+    if args.store:
+        store_run(args.store, run)
     if args.record:
-        doc = fold_into(args.record, args.phase, run)
+        path = resolve_record_path(args.record, args.phase)
+        if path != args.record:
+            print(f"--record auto -> {path} (phase {args.phase})")
+        doc = fold_into(path, args.phase, run)
         if "speedup" in doc:
             print("speedup vs before: "
                   + ", ".join(f"{g}: {s:.2f}x"
