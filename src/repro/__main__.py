@@ -167,10 +167,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
         sys.path.insert(0, os.path.join(os.path.dirname(__file__),
                                         "..", "..", "tools"))
         import perf_bench
+        check: list[str] = []
+        if args.check is not None:
+            baseline = args.check
+            if baseline == "auto":
+                # Newest trajectory point in the repo.
+                numbered = perf_bench._bench_numbers()
+                if not numbered:
+                    raise SystemExit("bench --perf --check: no BENCH_*.json "
+                                     "baseline in the repository")
+                baseline = str(numbered[-1][1])
+            check = ["--check", baseline]
         return perf_bench.main(
             (["--quick"] if args.quick else [])
             + ["--reps", str(args.reps)]
-            + (["--verbose"] if args.verbose else []))
+            + (["--verbose"] if args.verbose else [])
+            + check)
     if args.name is None:
         raise SystemExit("bench: an analog name is required "
                          "(or use --perf for the wall-clock suite)")
@@ -406,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="with --perf: reps per benchmark (default: 3)")
     bench_p.add_argument("--verbose", action="store_true",
                          help="with --perf: progress on stderr")
+    bench_p.add_argument("--check", nargs="?", const="auto", default=None,
+                         metavar="BENCH.json|STORE_DIR",
+                         help="with --perf: ratio-gate the run against a "
+                              "recorded baseline (default: the newest "
+                              "BENCH_*.json)")
     common(bench_p, with_allocator=False)
     jobs_option(bench_p)
     bench_p.set_defaults(func=cmd_bench)

@@ -10,6 +10,25 @@ block-local temporaries excluded from the bit vectors.
 """
 
 from repro.allocators.coloring.george_appel import GraphColoring
-from repro.allocators.coloring.ifgraph import InterferenceGraph, TriangularBitMatrix
+from repro.allocators.coloring.ifgraph import (
+    IndexGraph,
+    InterferenceGraph,
+    TriangularBitMatrix,
+)
+from repro.allocators.coloring.orderedset import OrderedSet
+from repro.allocators.coloring.reference import (
+    ReferenceBuild,
+    reference_build,
+)
+from repro.allocators.coloring.sweep import build_interference
 
-__all__ = ["GraphColoring", "InterferenceGraph", "TriangularBitMatrix"]
+__all__ = [
+    "GraphColoring",
+    "IndexGraph",
+    "InterferenceGraph",
+    "OrderedSet",
+    "ReferenceBuild",
+    "TriangularBitMatrix",
+    "build_interference",
+    "reference_build",
+]

@@ -13,15 +13,31 @@ Per the paper's Section 3:
 * the two register files are colored **separately** ("our graph-coloring
   allocator deals separately with general-purpose registers and
   floating-point registers");
-* adjacency lives in a lower-triangular bit matrix
-  (:class:`~repro.allocators.coloring.ifgraph.TriangularBitMatrix`);
+* adjacency lives in per-node bitmasks
+  (:class:`~repro.allocators.coloring.ifgraph.IndexGraph`), the moral
+  equivalent of the paper's lower-triangular bit matrix;
 * liveness is computed **once**, before allocation; each build round
-  filters the per-block live-out sets down to temporaries still present
+  filters the per-block live-out masks down to temporaries still present
   in the code, which is sound because spill code only introduces
   block-local temporaries ("global liveness information is not affected
   by such temporaries");
 * loop depth weights the spill costs exactly as it weights the
   binpacking allocator's eviction priority.
+
+Everything inside one coloring round runs in **index space**: nodes are
+dense integers (precolored registers first, then this round's candidate
+temporaries), so worklist flags are ``bytearray`` lookups, aliases and
+degrees are flat lists, and the live set / adjacency / forbidden-color
+sets are int bitmasks.  ``Temp`` objects appear only at the round's
+boundaries (collecting candidates, rewriting spills, applying colors) —
+the per-operation ``Temp`` hashing that used to dominate the profile is
+gone from every loop that scales with program size.
+
+The interference build itself is selectable (``GraphColoring(build=...)``):
+``"sweep"`` is the sparse interval-sweep build
+(:mod:`~repro.allocators.coloring.sweep`), ``"mask"`` the retained
+per-instruction oracle (:mod:`~repro.allocators.coloring.reference`),
+and ``"check"`` runs both and asserts byte-identical results.
 
 Worklists are backed by insertion-ordered dicts so the allocator is
 deterministic run to run.
@@ -38,7 +54,14 @@ from repro.allocators.base import (
     SharedAnalyses,
     SpillSlots,
 )
-from repro.allocators.coloring.ifgraph import InterferenceGraph, Node
+from repro.allocators.coloring.ifgraph import IndexGraph
+from repro.allocators.coloring.orderedset import OrderedSet
+from repro.allocators.coloring.reference import (
+    adopt_reference,
+    assert_matches_reference,
+    reference_build,
+)
+from repro.allocators.coloring.sweep import build_interference
 from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
@@ -46,37 +69,12 @@ from repro.ir.types import RegClass
 from repro.obs.trace import EventKind
 from repro.target.machine import MachineDescription
 
+#: Backward-compatible alias — the worklist set moved to its own module
+#: so the build kernels can share it without importing the allocator.
+_OrderedSet = OrderedSet
 
-class _OrderedSet:
-    """A set with deterministic (insertion) iteration order."""
-
-    __slots__ = ("_d",)
-
-    def __init__(self, items: Iterable | None = None):
-        self._d: dict = dict.fromkeys(items or ())
-
-    def add(self, item) -> None:
-        self._d[item] = None
-
-    def discard(self, item) -> None:
-        self._d.pop(item, None)
-
-    def pop_first(self):
-        item = next(iter(self._d))
-        del self._d[item]
-        return item
-
-    def __contains__(self, item) -> bool:
-        return item in self._d
-
-    def __iter__(self):
-        return iter(self._d)
-
-    def __len__(self) -> int:
-        return len(self._d)
-
-    def __bool__(self) -> bool:
-        return bool(self._d)
+#: The selectable interference builds (see :class:`GraphColoring`).
+BUILD_MODES = ("sweep", "mask", "check")
 
 
 class _ClassColoring:
@@ -89,20 +87,33 @@ class _ClassColoring:
 
     def __init__(self, fn: Function, machine: MachineDescription,
                  shared: SharedAnalyses, regclass: RegClass,
-                 slots: SpillSlots, stats: AllocationStats):
+                 slots: SpillSlots, stats: AllocationStats,
+                 build: str = "sweep"):
         self.fn = fn
         self.machine = machine
         self.shared = shared
         self.regclass = regclass
         self.slots = slots
         self.stats = stats
+        self.build_mode = build
         self.k = machine.file_size(regclass)
         self.precolored_regs = list(machine.regs(regclass))
+        self.n_pre = len(self.precolored_regs)
         # Color preference: caller-saved first; a temporary that can live
         # in a caller-saved register should, so the callee-save prologue
         # stays small.
         self.color_order = (list(machine.caller_saved(regclass))
                             + list(machine.callee_saved(regclass)))
+        # The precolored prefix of the node space is identical every
+        # round, so the index-space views of the calling convention are
+        # computed once here.
+        pre_index = {r: i for i, r in enumerate(self.precolored_regs)}
+        self.color_order_ix = tuple(pre_index[r] for r in self.color_order)
+        self.caller_saved_ix = tuple(
+            pre_index[r] for r in machine.caller_saved(regclass))
+        self.caller_saved_mask = 0
+        for i in self.caller_saved_ix:
+            self.caller_saved_mask |= 1 << i
         self.spill_generated: set[Temp] = set()
         self.rounds = 0
         self.total_edges = 0
@@ -145,123 +156,123 @@ class _ClassColoring:
                 present.setdefault(t, None)
         self.initial: list[Temp] = [
             t for t in present if t.regclass is self.regclass]
-        self.graph = InterferenceGraph(self.precolored_regs, self.initial)
-        self.simplify_wl = _OrderedSet()
-        self.freeze_wl = _OrderedSet()
-        self.spill_wl = _OrderedSet()
-        self.spilled_nodes = _OrderedSet()
-        self.coalesced_nodes: set[Node] = set()
-        self.colored_nodes: set[Node] = set()
-        self.select_stack: list[Node] = []
-        self.select_set: set[Node] = set()
-        self.coalesced_moves = _OrderedSet()
-        self.constrained_moves = _OrderedSet()
-        self.frozen_moves = _OrderedSet()
-        self.worklist_moves = _OrderedSet()
-        self.active_moves = _OrderedSet()
-        self.move_list: dict[Node, _OrderedSet] = {}
-        self.alias: dict[Node, Node] = {}
-        self.color: dict[Node, PhysReg] = {r: r for r in self.precolored_regs}
-        self.cost: dict[Temp, float] = {t: 0.0 for t in self.initial}
+        self.graph = IndexGraph(self.precolored_regs, self.initial)
+        n = self.graph.n
+        self.is_spill_temp = bytearray(n)
+        if self.spill_generated:
+            nodes = self.graph.nodes
+            for i in range(self.n_pre, n):
+                if nodes[i] in self.spill_generated:
+                    self.is_spill_temp[i] = 1
+        self.simplify_wl = OrderedSet()
+        self.freeze_wl = OrderedSet()
+        self.spill_wl = OrderedSet()
+        self.spilled_nodes = OrderedSet()
+        self.coalesced = bytearray(n)
+        self.colored = bytearray(n)
+        self.on_stack = bytearray(n)
+        self.select_stack: list[int] = []
+        self.coalesced_moves = OrderedSet()
+        self.constrained_moves = OrderedSet()
+        self.frozen_moves = OrderedSet()
+        self.worklist_moves = OrderedSet()
+        self.active_moves = OrderedSet()
+        #: Move ``m`` is ``moves[m] = (instr, def index, use index)``; the
+        #: move worklists hold these dense ids, not instruction objects.
+        self.moves: list[tuple[Instr, int, int]] = []
+        self.move_list: dict[int, OrderedSet] = {}
+        self.alias: list[int] = list(range(n))
+        # ``color[i]`` is a *node index* into the precolored prefix; a
+        # precolored node is its own color, so the identity prefix stands
+        # in for the old ``{r: r}`` seeding.
+        self.color: list[int] = list(range(self.n_pre)) + [0] * (n - self.n_pre)
+        self.cost: list[float] = [0.0] * n
 
     # ------------------------------------------------------------------
-    # Build.
+    # Build (selectable: sparse sweep, mask oracle, or both + compare).
     # ------------------------------------------------------------------
-    def _class_regs(self, regs: Iterable) -> list[Node]:
-        return [r for r in regs if r.regclass is self.regclass]
-
     def _build(self) -> None:
-        liveness = self.shared.liveness
-        loops = self.shared.loops
-        graph = self.graph
-        node_index = graph.index
-        cost = self.cost
-        caller_saved = self._class_regs(self.machine.caller_saved(self.regclass))
-        caller_saved_mask = 0
-        for reg in caller_saved:
-            caller_saved_mask |= 1 << node_index[reg]
-        in_code = set(self.initial)
-        depth_weight = {}
-        for block in self.fn.blocks:
-            depth = loops.depth_of(block.label)
-            depth_weight[block.label] = float(10 ** min(depth, 12))
-
-        # The live set is an int bitmask over graph node indices: set
-        # algebra collapses to int ops, and a def's edges land in bulk
-        # against the whole mask (``add_edges_from_mask``) instead of
-        # pair by pair.  Bits ascend by node index, so edge insertion
-        # order is index order — independent of hash randomization,
-        # exactly as the old sorted-set iteration guaranteed.
-        for block in self.fn.blocks:
-            weight = depth_weight[block.label]
-            live_mask = 0
-            for t in liveness.live_out_temps(block.label):
-                if t.regclass is self.regclass and t in in_code:
-                    live_mask |= 1 << node_index[t]
-            for instr in reversed(block.instrs):
-                defs = self._class_regs(instr.defs)
-                uses = self._class_regs(instr.uses)
-                uses_mask = 0
-                for u in uses:
-                    uses_mask |= 1 << node_index[u]
-                for node in defs + uses:
-                    if isinstance(node, Temp):
-                        cost[node] = cost.get(node, 0.0) + weight
-                if instr.is_move and defs and uses:
-                    live_mask &= ~uses_mask
-                    for node in (*defs, *uses):
-                        self.move_list.setdefault(node, _OrderedSet()).add(instr)
-                    self.worklist_moves.add(instr)
-                clobbers = defs
-                clobber_mask = 0
-                for d in defs:
-                    clobber_mask |= 1 << node_index[d]
-                if instr.is_call:
-                    clobbers = defs + caller_saved
-                    clobber_mask |= caller_saved_mask
-                live_mask |= clobber_mask
-                for d in clobbers:
-                    graph.add_edges_from_mask(d, live_mask)
-                live_mask &= ~clobber_mask
-                live_mask |= uses_mask
+        if self.build_mode == "sweep":
+            build_interference(self)
+            return
+        ref = reference_build(self.fn, self.machine, self.shared,
+                              self.regclass, self.precolored_regs,
+                              self.initial)
+        if self.build_mode == "mask":
+            adopt_reference(self, ref)
+        else:  # "check": run the sweep too and compare byte for byte.
+            build_interference(self)
+            assert_matches_reference(self, ref)
 
     def _make_worklists(self) -> None:
-        for t in self.initial:
-            if self.graph.degree[t] >= self.k:
-                self.spill_wl.add(t)
-            elif self._move_related(t):
-                self.freeze_wl.add(t)
+        degree = self.graph.degree
+        k = self.k
+        for i in range(self.n_pre, self.graph.n):
+            if degree[i] >= k:
+                self.spill_wl.add(i)
+            elif self._move_related(i):
+                self.freeze_wl.add(i)
             else:
-                self.simplify_wl.add(t)
+                self.simplify_wl.add(i)
 
     # ------------------------------------------------------------------
     # Worklist machinery (Appel's pseudocode, names kept recognizable).
     # ------------------------------------------------------------------
-    def _adjacent(self, n: Node) -> list[Node]:
+    def _adjacent(self, n: int) -> list[int]:
+        on_stack = self.on_stack
+        coalesced = self.coalesced
         return [m for m in self.graph.adj_list[n]
-                if m not in self.select_set and m not in self.coalesced_nodes]
+                if not on_stack[m] and not coalesced[m]]
 
-    def _node_moves(self, n: Node) -> list[Instr]:
+    def _node_moves(self, n: int) -> list[int]:
         moves = self.move_list.get(n)
         if not moves:
             return []
-        return [m for m in moves
-                if m in self.active_moves or m in self.worklist_moves]
+        active = self.active_moves
+        worklist = self.worklist_moves
+        return [m for m in moves if m in active or m in worklist]
 
-    def _move_related(self, n: Node) -> bool:
-        return bool(self._node_moves(n))
+    def _move_related(self, n: int) -> bool:
+        moves = self.move_list.get(n)
+        if not moves:
+            return False
+        active = self.active_moves
+        worklist = self.worklist_moves
+        for m in moves:
+            if m in active or m in worklist:
+                return True
+        return False
 
     def _simplify(self) -> None:
         n = self.simplify_wl.pop_first()
         self.select_stack.append(n)
-        self.select_set.add(n)
-        for m in self._adjacent(n):
-            self._decrement_degree(m)
+        self.on_stack[n] = 1
+        # _adjacent + _decrement_degree, inlined: this loop runs once per
+        # (node, neighbour) pair of the whole graph, and only the rare
+        # k-crossing case needs the slow path.
+        on_stack = self.on_stack
+        coalesced = self.coalesced
+        degree = self.graph.degree
+        k = self.k
+        n_pre = self.n_pre
+        for m in self.graph.adj_list[n]:
+            if on_stack[m] or coalesced[m]:
+                continue
+            d = degree[m]
+            degree[m] = d - 1
+            if d == k and m >= n_pre:
+                self._enable_moves([m, *self._adjacent(m)])
+                self.spill_wl.discard(m)
+                if self._move_related(m):
+                    self.freeze_wl.add(m)
+                else:
+                    self.simplify_wl.add(m)
 
-    def _decrement_degree(self, m: Node) -> None:
-        d = self.graph.degree[m]
-        self.graph.degree[m] = d - 1
-        if d == self.k and m not in self.graph.precolored:
+    def _decrement_degree(self, m: int) -> None:
+        degree = self.graph.degree
+        d = degree[m]
+        degree[m] = d - 1
+        if d == self.k and m >= self.n_pre:
             self._enable_moves([m, *self._adjacent(m)])
             self.spill_wl.discard(m)
             if self._move_related(m):
@@ -269,31 +280,41 @@ class _ClassColoring:
             else:
                 self.simplify_wl.add(m)
 
-    def _enable_moves(self, nodes: Iterable[Node]) -> None:
+    def _enable_moves(self, nodes: Iterable[int]) -> None:
+        # Of _node_moves' two sources only active moves matter here (a
+        # worklist move is already enabled), so filter directly.
+        active = self.active_moves
+        worklist = self.worklist_moves
+        move_list = self.move_list
         for n in nodes:
-            for m in self._node_moves(n):
-                if m in self.active_moves:
-                    self.active_moves.discard(m)
-                    self.worklist_moves.add(m)
+            moves = move_list.get(n)
+            if not moves:
+                continue
+            for m in moves:
+                if m in active:
+                    active.discard(m)
+                    worklist.add(m)
 
     def _coalesce(self) -> None:
         m = self.worklist_moves.pop_first()
-        x = self._get_alias(m.defs[0])
-        y = self._get_alias(m.uses[0])
-        if y in self.graph.precolored:
+        _, def_ix, use_ix = self.moves[m]
+        x = self._get_alias(def_ix)
+        y = self._get_alias(use_ix)
+        n_pre = self.n_pre
+        if y < n_pre:
             u, v = y, x
         else:
             u, v = x, y
         if u == v:
             self.coalesced_moves.add(m)
             self._add_work_list(u)
-        elif v in self.graph.precolored or self.graph.interferes(u, v):
+        elif v < n_pre or self.graph.interferes(u, v):
             self.constrained_moves.add(m)
             self._add_work_list(u)
             self._add_work_list(v)
-        elif ((u in self.graph.precolored
+        elif ((u < n_pre
                and all(self._george_ok(t, u) for t in self._adjacent(v)))
-              or (u not in self.graph.precolored
+              or (u >= n_pre
                   and self._briggs_conservative(
                       {*self._adjacent(u), *self._adjacent(v)}))):
             self.coalesced_moves.add(m)
@@ -302,35 +323,41 @@ class _ClassColoring:
         else:
             self.active_moves.add(m)
 
-    def _add_work_list(self, u: Node) -> None:
-        if (u not in self.graph.precolored and not self._move_related(u)
+    def _add_work_list(self, u: int) -> None:
+        if (u >= self.n_pre and not self._move_related(u)
                 and self.graph.degree[u] < self.k):
             self.freeze_wl.discard(u)
             self.simplify_wl.add(u)
 
-    def _george_ok(self, t: Node, r: Node) -> bool:
-        return (self.graph.degree[t] < self.k or t in self.graph.precolored
+    def _george_ok(self, t: int, r: int) -> bool:
+        return (self.graph.degree[t] < self.k or t < self.n_pre
                 or self.graph.interferes(t, r))
 
-    def _briggs_conservative(self, nodes: set[Node]) -> bool:
-        significant = sum(1 for n in nodes if self.graph.degree[n] >= self.k)
-        return significant < self.k
+    def _briggs_conservative(self, nodes: set[int]) -> bool:
+        k = self.k
+        degree = self.graph.degree
+        significant = sum(1 for n in nodes if degree[n] >= k)
+        return significant < k
 
-    def _get_alias(self, n: Node) -> Node:
-        while n in self.coalesced_nodes:
-            n = self.alias[n]
+    def _get_alias(self, n: int) -> int:
+        coalesced = self.coalesced
+        alias = self.alias
+        while coalesced[n]:
+            n = alias[n]
         return n
 
-    def _combine(self, u: Node, v: Node) -> None:
+    def _combine(self, u: int, v: int) -> None:
         if v in self.freeze_wl:
             self.freeze_wl.discard(v)
         else:
             self.spill_wl.discard(v)
-        self.coalesced_nodes.add(v)
+        self.coalesced[v] = 1
         self.alias[v] = u
-        u_moves = self.move_list.setdefault(u, _OrderedSet())
-        for mv in self.move_list.get(v, _OrderedSet()):
-            u_moves.add(mv)
+        u_moves = self.move_list.setdefault(u, OrderedSet())
+        v_moves = self.move_list.get(v)
+        if v_moves:
+            for mv in v_moves:
+                u_moves.add(mv)
         self._enable_moves([v])
         for t in self._adjacent(v):
             self.graph.add_edge(t, u)
@@ -344,26 +371,31 @@ class _ClassColoring:
         self.simplify_wl.add(u)
         self._freeze_moves(u)
 
-    def _freeze_moves(self, u: Node) -> None:
+    def _freeze_moves(self, u: int) -> None:
         for m in self._node_moves(u):
-            x, y = m.defs[0], m.uses[0]
+            _, x, y = self.moves[m]
             if self._get_alias(y) == self._get_alias(u):
                 v = self._get_alias(x)
             else:
                 v = self._get_alias(y)
             self.active_moves.discard(m)
             self.frozen_moves.add(m)
-            if (v not in self.graph.precolored and not self._node_moves(v)
+            if (v >= self.n_pre and not self._node_moves(v)
                     and self.graph.degree[v] < self.k):
                 self.freeze_wl.discard(v)
                 self.simplify_wl.add(v)
 
     def _select_spill(self) -> None:
-        def metric(t: Temp) -> float:
-            cost = self.cost.get(t, 0.0)
-            if t in self.spill_generated:
-                cost *= self.SPILL_TEMP_COST_FACTOR
-            return cost / max(self.graph.degree[t], 1)
+        cost = self.cost
+        degree = self.graph.degree
+        is_spill_temp = self.is_spill_temp
+        factor = self.SPILL_TEMP_COST_FACTOR
+
+        def metric(t: int) -> float:
+            c = cost[t]
+            if is_spill_temp[t]:
+                c *= factor
+            return c / max(degree[t], 1)
 
         m = min(self.spill_wl, key=metric)
         self.spill_wl.discard(m)
@@ -374,31 +406,55 @@ class _ClassColoring:
     # Color assignment and spill rewriting.
     # ------------------------------------------------------------------
     def _assign_colors(self) -> None:
+        graph = self.graph
+        nodes = graph.nodes
+        adj_list = graph.adj_list
+        alias = self.alias
+        coalesced = self.coalesced
+        colored = self.colored
+        on_stack = self.on_stack
+        color = self.color
+        color_order_ix = self.color_order_ix
+        n_pre = self.n_pre
+        rounds = self.rounds
+        tr = self.stats.trace
+        # Aliases are final once the worklists drain, so resolve every
+        # node's representative once instead of chasing chains per
+        # adjacency entry.
+        resolved = list(range(graph.n))
+        for i in range(graph.n):
+            j = i
+            while coalesced[j]:
+                j = alias[j]
+            resolved[i] = j
         while self.select_stack:
             n = self.select_stack.pop()
-            self.select_set.discard(n)
-            forbidden: set[PhysReg] = set()
-            for w in self.graph.adj_list[n]:
-                w = self._get_alias(w)
-                if w in self.colored_nodes or w in self.graph.precolored:
-                    forbidden.add(self.color[w])
-            chosen = next((c for c in self.color_order if c not in forbidden),
-                          None)
-            tr = self.stats.trace
-            if chosen is None:
+            on_stack[n] = 0
+            forbidden = 0
+            for w in adj_list[n]:
+                w = resolved[w]
+                if colored[w] or w < n_pre:
+                    forbidden |= 1 << color[w]
+            chosen = -1
+            for c in color_order_ix:
+                if not forbidden >> c & 1:
+                    chosen = c
+                    break
+            if chosen < 0:
                 self.spilled_nodes.add(n)
                 if tr.enabled:
-                    tr.emit(EventKind.EVICT, temp=n,
-                            detail=f"no color (round {self.rounds})")
+                    tr.emit(EventKind.EVICT, temp=nodes[n],
+                            detail=f"no color (round {rounds})")
             else:
-                self.colored_nodes.add(n)
-                self.color[n] = chosen
+                colored[n] = 1
+                color[n] = chosen
                 if tr.enabled:
-                    tr.emit(EventKind.ASSIGN, temp=n, reg=chosen,
-                            detail=f"color (round {self.rounds})")
+                    tr.emit(EventKind.ASSIGN, temp=nodes[n], reg=nodes[chosen],
+                            detail=f"color (round {rounds})")
 
     def _rewrite_spills(self) -> None:
-        spilled = set(self.spilled_nodes)
+        nodes = self.graph.nodes
+        spilled = {nodes[i] for i in self.spilled_nodes}
         tr = self.stats.trace
         for block in self.fn.blocks:
             if tr.enabled:
@@ -442,24 +498,44 @@ class _ClassColoring:
             block.instrs = rewritten
 
     def _apply_colors(self) -> None:
+        index = self.graph.index
+        nodes = self.graph.nodes
+        alias = self.alias
+        coalesced = self.coalesced
+        colored = self.colored
+        color = self.color
+        n_pre = self.n_pre
         for instr in self.fn.instructions():
             for operands in (instr.defs, instr.uses):
                 for i, reg in enumerate(operands):
                     if isinstance(reg, Temp) and reg.regclass is self.regclass:
-                        node = self._get_alias(reg)
-                        try:
-                            operands[i] = self.color[node]
-                        except KeyError:
+                        node = index[reg]
+                        while coalesced[node]:
+                            node = alias[node]
+                        if colored[node] or node < n_pre:
+                            operands[i] = nodes[color[node]]
+                        else:
                             raise AllocationError(
                                 f"{self.fn.name}: no color for {reg} "
-                                f"(alias {node})") from None
+                                f"(alias {nodes[node]})")
 
 
 class GraphColoring(RegisterAllocator):
-    """George–Appel iterated register coalescing over both register files."""
+    """George–Appel iterated register coalescing over both register files.
 
-    def __init__(self) -> None:
+    Args:
+        build: Which interference build to run each round — ``"sweep"``
+            (default, the sparse interval-sweep kernel), ``"mask"`` (the
+            retained per-instruction oracle), or ``"check"`` (both, with
+            a byte-for-byte comparison; the differential-testing mode).
+    """
+
+    def __init__(self, build: str = "sweep") -> None:
+        if build not in BUILD_MODES:
+            raise ValueError(f"unknown interference build {build!r}; "
+                             f"expected one of {BUILD_MODES}")
         self.name = "graph coloring"
+        self.build = build
 
     def allocate_function(self, fn: Function, machine: MachineDescription,
                           shared: SharedAnalyses, slots: SpillSlots,
@@ -467,7 +543,8 @@ class GraphColoring(RegisterAllocator):
         rounds = 0
         edges = 0
         for regclass in (RegClass.GPR, RegClass.FPR):
-            coloring = _ClassColoring(fn, machine, shared, regclass, slots, stats)
+            coloring = _ClassColoring(fn, machine, shared, regclass, slots,
+                                      stats, build=self.build)
             with stats.profiler.phase(f"allocate.color.{regclass.name.lower()}"):
                 coloring.run()
             rounds += coloring.rounds

@@ -1,0 +1,43 @@
+"""The deterministic insertion-ordered set used by the coloring worklists.
+
+Worklist iteration order decides which node simplifies or coalesces
+first, so it must not depend on hash randomization; an insertion-ordered
+dict gives deterministic order for any key type (node indices, move
+ids, instruction objects).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class OrderedSet:
+    """A set with deterministic (insertion) iteration order."""
+
+    __slots__ = ("_d",)
+
+    def __init__(self, items: Iterable | None = None):
+        self._d: dict = dict.fromkeys(items or ())
+
+    def add(self, item) -> None:
+        self._d[item] = None
+
+    def discard(self, item) -> None:
+        self._d.pop(item, None)
+
+    def pop_first(self):
+        item = next(iter(self._d))
+        del self._d[item]
+        return item
+
+    def __contains__(self, item) -> bool:
+        return item in self._d
+
+    def __iter__(self):
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)

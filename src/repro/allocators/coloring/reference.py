@@ -1,0 +1,174 @@
+"""The mask-based interference build, retained as the semantic oracle.
+
+This is PR 5's per-instruction build, verbatim: walk every instruction
+of every block backward, keep the live set as an int bitmask over graph
+node indices, and land each def's edges in bulk against the whole mask.
+It is correct and deterministic but pays O(instrs) Python-level object
+work per round (operand re-filtering, ``Temp`` hashing), which is why
+the sparse sweep in :mod:`repro.allocators.coloring.sweep` replaced it
+on the hot path.
+
+Like :mod:`repro.sim.reference` for the pre-decoded simulator, this
+module is the slow, obviously-faithful implementation the fast one is
+differentially tested against:
+
+* ``GraphColoring(build="mask")`` runs *this* build for every round
+  (the selectable oracle);
+* ``GraphColoring(build="check")`` runs both builds and asserts the
+  sweep reproduced the oracle's edge set, adjacency insertion order,
+  degrees, spill costs, and move discovery order byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocators.coloring.ifgraph import InterferenceGraph, Node
+from repro.allocators.coloring.orderedset import OrderedSet
+from repro.ir.function import Function
+from repro.ir.temp import PhysReg, Temp
+from repro.ir.types import RegClass
+from repro.target.machine import MachineDescription
+
+
+@dataclass(eq=False)
+class ReferenceBuild:
+    """Everything one oracle build round produced."""
+
+    graph: InterferenceGraph
+    cost: dict[Temp, float]
+    move_list: dict[Node, OrderedSet]
+    worklist_moves: OrderedSet
+
+
+def reference_build(fn: Function, machine: MachineDescription, shared,
+                    regclass: RegClass, precolored: list[PhysReg],
+                    initial: list[Temp]) -> ReferenceBuild:
+    """One interference-build round, the PR 5 mask-based way."""
+    liveness = shared.liveness
+    loops = shared.loops
+    graph = InterferenceGraph(precolored, initial)
+    node_index = graph.index
+    cost: dict[Temp, float] = {t: 0.0 for t in initial}
+    move_list: dict[Node, OrderedSet] = {}
+    worklist_moves = OrderedSet()
+    caller_saved = [r for r in machine.caller_saved(regclass)
+                    if r.regclass is regclass]
+    caller_saved_mask = 0
+    for reg in caller_saved:
+        caller_saved_mask |= 1 << node_index[reg]
+    in_code = set(initial)
+    depth_weight = {}
+    for block in fn.blocks:
+        depth = loops.depth_of(block.label)
+        depth_weight[block.label] = float(10 ** min(depth, 12))
+
+    # The live set is an int bitmask over graph node indices: set
+    # algebra collapses to int ops, and a def's edges land in bulk
+    # against the whole mask (``add_edges_from_mask``) instead of
+    # pair by pair.  Bits ascend by node index, so edge insertion
+    # order is index order — independent of hash randomization,
+    # exactly as the old sorted-set iteration guaranteed.
+    for block in fn.blocks:
+        weight = depth_weight[block.label]
+        live_mask = 0
+        for t in liveness.live_out_temps(block.label):
+            if t.regclass is regclass and t in in_code:
+                live_mask |= 1 << node_index[t]
+        for instr in reversed(block.instrs):
+            defs = [r for r in instr.defs if r.regclass is regclass]
+            uses = [r for r in instr.uses if r.regclass is regclass]
+            uses_mask = 0
+            for u in uses:
+                uses_mask |= 1 << node_index[u]
+            for node in defs + uses:
+                if isinstance(node, Temp):
+                    cost[node] = cost.get(node, 0.0) + weight
+            if instr.is_move and defs and uses:
+                live_mask &= ~uses_mask
+                for node in (*defs, *uses):
+                    move_list.setdefault(node, OrderedSet()).add(instr)
+                worklist_moves.add(instr)
+            clobbers = defs
+            clobber_mask = 0
+            for d in defs:
+                clobber_mask |= 1 << node_index[d]
+            if instr.is_call:
+                clobbers = defs + caller_saved
+                clobber_mask |= caller_saved_mask
+            live_mask |= clobber_mask
+            for d in clobbers:
+                graph.add_edges_from_mask(d, live_mask)
+            live_mask &= ~clobber_mask
+            live_mask |= uses_mask
+    return ReferenceBuild(graph, cost, move_list, worklist_moves)
+
+
+def adopt_reference(col, ref: ReferenceBuild) -> None:
+    """Continue a coloring round from the oracle's build (``build="mask"``).
+
+    Translates the oracle's object-keyed structures into the round's
+    index-space ones, preserving every iteration order, so the worklist
+    machinery downstream behaves identically whichever build produced
+    its inputs.
+    """
+    graph = col.graph
+    index = graph.index
+    graph.adj_mask = list(ref.graph.adj_mask)
+    for node, neighbours in ref.graph.adj_list.items():
+        graph.adj_list[index[node]] = [index[m] for m in neighbours]
+    for node, degree in ref.graph.degree.items():
+        graph.degree[index[node]] = degree
+    for temp, value in ref.cost.items():
+        col.cost[index[temp]] = value
+    move_id: dict = {}
+    for instr in ref.worklist_moves:
+        move_id[instr] = len(col.moves)
+        col.moves.append((instr, index[instr.defs[0]], index[instr.uses[0]]))
+        col.worklist_moves.add(move_id[instr])
+    for node, instrs in ref.move_list.items():
+        col.move_list[index[node]] = OrderedSet(move_id[m] for m in instrs)
+
+
+def assert_matches_reference(col, ref: ReferenceBuild) -> None:
+    """Assert the sweep build reproduced the oracle byte-for-byte.
+
+    Compares edge sets (adjacency masks), adjacency-list insertion
+    order, degrees, spill costs (exact float equality), per-node move
+    lists, and the move worklist's discovery order.
+    """
+    graph = col.graph
+    index = graph.index
+    name = f"{col.fn.name}/{col.regclass.name}"
+    if graph.adj_mask != ref.graph.adj_mask:
+        bad = [i for i, (a, b) in enumerate(zip(graph.adj_mask,
+                                                ref.graph.adj_mask)) if a != b]
+        raise AssertionError(
+            f"{name}: sweep edge set diverges from oracle at nodes "
+            f"{[graph.nodes[i] for i in bad[:5]]}")
+    for node, neighbours in ref.graph.adj_list.items():
+        ni = index[node]
+        expected = [index[m] for m in neighbours]
+        if graph.adj_list[ni] != expected:
+            raise AssertionError(
+                f"{name}: adjacency order of {node} diverges: "
+                f"sweep {graph.adj_list[ni][:8]} vs oracle {expected[:8]}")
+    for node, degree in ref.graph.degree.items():
+        if graph.degree[index[node]] != degree:
+            raise AssertionError(
+                f"{name}: degree of {node} is {graph.degree[index[node]]}, "
+                f"oracle says {degree}")
+    for temp, value in ref.cost.items():
+        if col.cost[index[temp]] != value:
+            raise AssertionError(
+                f"{name}: spill cost of {temp} is {col.cost[index[temp]]!r}, "
+                f"oracle says {value!r}")
+    sweep_moves = [col.moves[m][0] for m in col.worklist_moves]
+    if sweep_moves != list(ref.worklist_moves):
+        raise AssertionError(f"{name}: move worklist order diverges")
+    ref_lists = {index[node]: [instr for instr in instrs]
+                 for node, instrs in ref.move_list.items()}
+    sweep_lists = {node: [col.moves[m][0] for m in ids]
+                   for node, ids in col.move_list.items()}
+    if sweep_lists != ref_lists:
+        raise AssertionError(f"{name}: per-node move lists diverge")

@@ -8,7 +8,7 @@ get bit positions; block-local temporaries are excluded, "which greatly
 reduces bit vector sizes".
 """
 
-from repro.dataflow.bitvector import TempIndex, bits_of, popcount
+from repro.dataflow.bitvector import TempIndex, bits_of, popcount, translate_mask
 from repro.dataflow.framework import DataflowProblem, Direction, solve
 from repro.dataflow.liveness import LivenessInfo, compute_liveness
 
@@ -21,4 +21,5 @@ __all__ = [
     "compute_liveness",
     "popcount",
     "solve",
+    "translate_mask",
 ]

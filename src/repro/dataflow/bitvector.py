@@ -26,6 +26,22 @@ def popcount(mask: int) -> int:
     return mask.bit_count()
 
 
+def translate_mask(mask: int, table: list[int]) -> int:
+    """Re-index ``mask`` through a per-bit translation ``table``.
+
+    Entry ``i`` of ``table`` is the target-space mask contributed by
+    source bit ``i`` (``0`` drops the bit).  Cost is proportional to the
+    number of *set* bits, so translating a sparse liveness mask into a
+    graph's node space never touches the temporaries that are dead.
+    """
+    out = 0
+    while mask:
+        low = mask & -mask
+        out |= table[low.bit_length() - 1]
+        mask ^= low
+    return out
+
+
 @dataclass(eq=False)
 class TempIndex:
     """A bijection between a chosen set of temporaries and bit positions.
@@ -70,3 +86,17 @@ class TempIndex:
     def temps_of(self, mask: int) -> list[Temp]:
         """The temporaries selected by ``mask``."""
         return [self.temps[i] for i in bits_of(mask)]
+
+    def translation_table(self, target_bit) -> list[int]:
+        """A per-bit table mapping this index into a foreign bit space.
+
+        ``target_bit(temp)`` returns the foreign bit position of ``temp``
+        or ``None`` to drop it; the table feeds :func:`translate_mask`,
+        letting a consumer (the interference build's node space, say)
+        re-index whole liveness masks without materializing temp lists.
+        """
+        table = []
+        for t in self.temps:
+            bit = target_bit(t)
+            table.append(0 if bit is None else 1 << bit)
+        return table

@@ -63,7 +63,10 @@ def solve(problem: DataflowProblem) -> DataflowResult:
     backward = problem.direction is Direction.BACKWARD
     order = cfg.postorder() if backward else cfg.reverse_postorder()
     # Include unreachable blocks so every label has a defined value.
-    tail = [label for label in labels if label not in set(order)]
+    # (Hoisted out of the comprehension: rebuilding the set per label
+    # made this scan quadratic in the block count.)
+    reachable = set(order)
+    tail = [label for label in labels if label not in reachable]
     order = order + tail
 
     iterations = 0

@@ -8,6 +8,13 @@ blocks and is recovered later by the lifetime scan without any dataflow.
 
 Liveness is computed once, before allocation, and shared by every
 allocator — the paper's fair-comparison methodology.
+
+The per-block GEN/KILL inputs are assembled without building any
+per-temp Python sets: one forward pass over the function records each
+block's upward-exposed uses and first defs as *ordered lists* (a single
+generation-stamped dict tracks per-block definedness), and the bit masks
+are built directly from those lists once the :class:`TempIndex` is
+fixed.
 """
 
 from __future__ import annotations
@@ -46,41 +53,71 @@ class LivenessInfo:
         return self.index.temps_of(self.live_in[label])
 
 
-def _block_local_sets(fn: Function) -> tuple[dict[str, set[Temp]], dict[str, set[Temp]]]:
-    """Per-block upward-exposed-use and kill (defined) temp sets."""
-    ue: dict[str, set[Temp]] = {}
-    kill: dict[str, set[Temp]] = {}
-    for block in fn.blocks:
-        exposed: set[Temp] = set()
-        defined: set[Temp] = set()
+#: Generation-dict flags: the temp was used-before-defined / defined in
+#: the block whose generation stamps the entry.
+_SEEN = 1
+_KILLED = 2
+
+
+def _block_local_sets(fn: Function) -> tuple[dict[str, list[Temp]],
+                                             dict[str, list[Temp]]]:
+    """Per-block upward-exposed-use and kill (defined) temp lists.
+
+    One forward pass over the function; each returned list holds the
+    block's temps in first-occurrence order, deduplicated.  A single
+    dict stamped with the block's position replaces the per-block sets
+    the old implementation built (and threw away) for every block.
+    """
+    ue: dict[str, list[Temp]] = {}
+    kill: dict[str, list[Temp]] = {}
+    state: dict[Temp, tuple[int, int]] = {}
+    for gen, block in enumerate(fn.blocks):
+        exposed: list[Temp] = []
+        defined: list[Temp] = []
         for instr in block.instrs:
             for reg in instr.uses:
-                if isinstance(reg, Temp) and reg not in defined:
-                    exposed.add(reg)
+                if isinstance(reg, Temp):
+                    entry = state.get(reg)
+                    if entry is None or entry[0] != gen:
+                        state[reg] = (gen, _SEEN)
+                        exposed.append(reg)
             for reg in instr.defs:
                 if isinstance(reg, Temp):
-                    defined.add(reg)
+                    entry = state.get(reg)
+                    if entry is None or entry[0] != gen:
+                        state[reg] = (gen, _SEEN | _KILLED)
+                        defined.append(reg)
+                    elif not entry[1] & _KILLED:
+                        state[reg] = (gen, entry[1] | _KILLED)
+                        defined.append(reg)
         ue[block.label] = exposed
         kill[block.label] = defined
     return ue, kill
 
 
 def global_temps(fn: Function,
-                 ue: dict[str, set[Temp]] | None = None) -> list[Temp]:
+                 ue: dict[str, list[Temp]] | None = None) -> list[Temp]:
     """Temporaries upward exposed in some block, in deterministic order.
 
     These are exactly the temporaries whose liveness crosses a block
     boundary (assuming every use is reached by some def; uninitialized
     reads also land here, conservatively).  ``ue`` may be passed when the
-    upward-exposed sets are already in hand (as in
+    upward-exposed lists are already in hand (as in
     :func:`compute_liveness`) to avoid rescanning every instruction.
+
+    The order — and therefore the :class:`TempIndex` bit layout — is the
+    concatenation over blocks of each block's upward-exposed temps in
+    sorted order, first occurrence kept.  Each temp is sorted only the
+    first time it appears: filtering to unseen temps before sorting
+    yields the same subsequence as sorting the whole block list and
+    deduplicating afterwards, without re-sorting temps already placed.
     """
     if ue is None:
         ue, _ = _block_local_sets(fn)
     out: dict[Temp, None] = {}
     for block in fn.blocks:
-        for t in sorted(ue[block.label]):
-            out.setdefault(t, None)
+        for t in sorted(t for t in ue[block.label] if t not in out):
+            out[t] = None
     return list(out)
 
 

@@ -395,9 +395,56 @@ def render_perf_trajectory(store: ResultStore | None = None,
     for row in rows:
         row.extend([""] * (width - len(row)))
     headers = ["trajectory", "phase", "mode"] + [f"{g} (s)" for g in groups]
-    return format_table(headers, [
+    out = format_table(headers, [
         [cell if cell is not None else "" for cell in row] for row in rows],
         title="Perf trajectory (group medians per recorded point)")
+    detail = render_interference_trajectory(repo_root=repo_root)
+    if detail:
+        out += "\n\n" + detail
+    return out
+
+
+def render_interference_trajectory(repo_root: str | Path = ".") -> str:
+    """Per-benchmark trajectory of the ``interference.*`` cells.
+
+    The group table above sums the interference cells; this one follows
+    each cell individually across every ``BENCH_*.json`` point (the PR 5
+    mask-based build, the PR 7 interval sweep, ...), with a per-cell
+    speedup row wherever a point recorded both phases.
+    """
+    names: list[str] = []
+    rows: list[list[str]] = []
+    for label, doc in _bench_documents(Path(repo_root)):
+        phases = {p: doc[p] for p in ("before", "after") if doc.get(p)}
+        for run in phases.values():
+            for name in run.get("benchmarks", {}):
+                if name.startswith("interference.") and name not in names:
+                    names.append(name)
+
+        def cell_ms(run: dict, name: str) -> float | None:
+            cell = run.get("benchmarks", {}).get(name)
+            return None if cell is None else cell["median_s"] * 1e3
+
+        for phase, run in phases.items():
+            rows.append([label, phase]
+                        + [f"{ms:.1f}" if (ms := cell_ms(run, n)) is not None
+                           else "" for n in names])
+        if len(phases) == 2:
+            speedups = []
+            for n in names:
+                old, new = (cell_ms(phases["before"], n),
+                            cell_ms(phases["after"], n))
+                speedups.append(f"{old / new:.2f}x" if old and new else "")
+            rows.append([label, "speedup"] + speedups)
+    if not names:
+        return ""
+    width = 2 + len(names)
+    for row in rows:
+        row.extend([""] * (width - len(row)))
+    headers = ["trajectory", "phase"] + [f"{n} (ms)" for n in names]
+    return format_table(
+        headers, rows,
+        title="Interference-build trajectory (per-cell medians)")
 
 
 # ----------------------------------------------------------------------
@@ -482,7 +529,8 @@ def render_runs(store: ResultStore) -> str:
 __all__ = ["FIGURE3_KEYS", "MissingCells", "REPORT_FILES", "TIMING_FILES",
            "ablation_rows", "block_order_rows", "check_against_goldens",
            "diff_runs", "figure3_rows", "render_ablations", "render_all",
-           "render_block_order", "render_figure3", "render_perf_trajectory",
+           "render_block_order", "render_figure3",
+           "render_interference_trajectory", "render_perf_trajectory",
            "render_runs", "render_section31", "render_table1",
            "render_table2", "render_table3", "section31_rows", "table1_rows",
            "table2_rows", "table3_rows"]

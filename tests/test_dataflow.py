@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cfg.cfg import CFG
-from repro.dataflow.bitvector import TempIndex, bits_of, popcount
+from repro.dataflow.bitvector import TempIndex, bits_of, popcount, translate_mask
 from repro.dataflow.framework import DataflowProblem, Direction, solve
 from repro.dataflow.liveness import compute_liveness, global_temps
 from repro.ir.builder import FunctionBuilder
@@ -38,6 +38,16 @@ class TestBitVector:
         assert index.mask_of([stranger]) == 0
         with pytest.raises(KeyError):
             index.bit(stranger)
+
+    def test_translation_table_reindexes_masks(self):
+        temps = [Temp(G, i) for i in range(4)]
+        index = TempIndex.of(temps)
+        target = {temps[0]: 5, temps[2]: 1}  # temps[1]/[3] dropped
+        table = index.translation_table(target.get)
+        assert table == [1 << 5, 0, 1 << 1, 0]
+        assert translate_mask(0b1111, table) == (1 << 5) | (1 << 1)
+        assert translate_mask(0b1010, table) == 0  # only dropped bits set
+        assert translate_mask(0, table) == 0
 
 
 def loop_function():
@@ -90,6 +100,43 @@ class TestLiveness:
         assert info.live_in_temps("head") == [x]
         assert info.live_out_temps("out") == []
 
+    def test_global_temps_order_is_pinned(self):
+        # The TempIndex bit layout is part of the repo's determinism
+        # contract: concatenation over blocks of each block's
+        # upward-exposed temps in sorted order, first occurrence kept.
+        fn = Function("f")
+        t = [fn.new_temp(G) for _ in range(6)]
+        b = FunctionBuilder(fn)
+        b.new_block("b0")
+        b.print_(t[5])
+        b.print_(t[2])
+        b.jmp("b1")
+        b.new_block("b1")
+        b.print_(t[4])
+        b.print_(t[2])  # already placed by b0 — must not move
+        b.print_(t[1])
+        b.ret(t[1])
+        assert global_temps(fn) == [t[2], t[5], t[1], t[4]]
+        index = compute_liveness(fn).index
+        assert [index.bit(x) for x in (t[2], t[5], t[1], t[4])] == [0, 1, 2, 3]
+
+    def test_second_def_does_not_duplicate_kill(self):
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        x = b.li(1)
+        b.li(2, dst=x)  # second def of x in the same block
+        b.jmp("out")
+        b.new_block("out")
+        b.print_(x)
+        b.ret(x)
+        from repro.dataflow.liveness import _block_local_sets
+
+        ue, kill = _block_local_sets(fn)
+        assert kill["entry"] == [x]
+        assert ue["entry"] == []
+        assert ue["out"] == [x]
+
 
 class TestGenericSolver:
     def test_forward_reaching_like_problem(self):
@@ -102,6 +149,38 @@ class TestGenericSolver:
         assert result.out["out"] == 0b11
         assert result.in_["head"] == 0b11  # via the back edge
         assert result.in_["entry"] == 0
+
+    def test_unreachable_blocks_covered_in_block_order(self):
+        # Unreachable blocks still get defined in/out values, appended
+        # after the reachable order in fn.blocks order — with many
+        # blocks, so a reintroduced per-label membership rebuild (the
+        # old quadratic scan) would also be felt as a slowdown here.
+        fn = Function("f")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.ret(b.li(0))
+        n = 150
+        prev = None
+        chain = []
+        for i in range(n):
+            b.new_block(f"dead{i}")
+            t = b.li(i) if prev is None else b.addi(prev, 1)
+            chain.append(t)
+            if i < n - 1:
+                b.jmp(f"dead{i + 1}")
+            else:
+                b.ret(t)
+            prev = t
+        info = compute_liveness(fn)
+        labels = [block.label for block in fn.blocks]
+        assert list(info.live_in) == labels
+        assert list(info.live_out) == labels
+        # Liveness propagates through the unreachable chain too.
+        for i in range(1, n):
+            bit = 1 << info.index.bit(chain[i - 1])
+            assert info.live_in[f"dead{i}"] & bit
+            assert info.live_out[f"dead{i - 1}"] & bit
+        assert info.live_out[f"dead{n - 1}"] == 0
 
     def test_kill_masks_stop_propagation(self):
         fn, *_ = loop_function()

@@ -53,14 +53,16 @@ from repro.pm.batch import compare_allocators
 from repro.pm.session import CompilationSession
 from repro.sim import simulate
 from repro.target import alpha
-from repro.workloads.programs import build_program
+from repro.lang.lower import compile_minic
+from repro.workloads.programs import build_program, fpppp_scaled_source
 
 #: Analogs timed per group.  ``quick`` keeps CI smoke under ~15 s of
 #: measured work; ``full`` is what BENCH_*.json trajectory points use.
 SIM_ANALOGS = {"quick": ["doduc", "compress", "m88ksim"],
                "full": ["doduc", "compress", "m88ksim", "fpppp", "wc"]}
 E2E_ANALOGS = {"quick": ["compress"], "full": ["compress", "doduc", "sort"]}
-INTERFERENCE_ANALOGS = {"quick": ["doduc"], "full": ["doduc", "fpppp"]}
+INTERFERENCE_ANALOGS = {"quick": ["doduc", "fpppp"],
+                        "full": ["doduc", "fpppp"]}
 #: Fixed fuzz corpus: deterministic seeds, so every revision times the
 #: exact same generated programs.
 FUZZ_SEEDS = {"quick": range(0, 12), "full": range(0, 30)}
@@ -130,9 +132,9 @@ def run_suite(*, quick: bool = False, reps: int = 3,
     record("lifetimes", run_lifetimes)
 
     say("interference build (graph coloring)")
-    for name in INTERFERENCE_ANALOGS[mode]:
-        from repro.allocators import GraphColoring
+    from repro.allocators import GraphColoring
 
+    for name in INTERFERENCE_ANALOGS[mode]:
         module = build_program(name, machine)
 
         def run_coloring(m=module) -> None:
@@ -140,6 +142,17 @@ def run_suite(*, quick: bool = False, reps: int = 3,
             session.run(GraphColoring())
 
         record(f"interference.{name}", run_coloring)
+
+    # A scaled-down fpppp (same huge-block shape, fraction of the size):
+    # a cheap cell the perf-smoke gate can lean on when full-fpppp noise
+    # would otherwise force a generous slowdown threshold.
+    scaled = compile_minic(fpppp_scaled_source(), machine)
+
+    def run_scaled(m=scaled) -> None:
+        session = CompilationSession(m, machine)
+        session.run(GraphColoring())
+
+    record("interference.quick", run_scaled)
 
     groups: dict[str, float] = {}
     for name, cell in benchmarks.items():
