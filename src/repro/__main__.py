@@ -46,10 +46,20 @@ from repro.pipeline import run_allocator
 from repro.pm.batch import compare_allocators
 from repro.sim import simulate
 from repro.sim.machine import outputs_equal
+from repro.spill import DEFAULT_CONTEXT, STRESS_MODES, AllocationContext
 from repro.stats.report import format_table
 from repro.target import alpha, tiny
 
 ALLOCATORS = ALLOCATOR_FACTORIES
+
+
+def _context(args: argparse.Namespace) -> AllocationContext:
+    """The :class:`AllocationContext` the shared ``--remat`` /
+    ``--stress`` / ``--stress-seed`` flags describe (the inert default
+    when none were given)."""
+    return AllocationContext(remat=getattr(args, "remat", False),
+                             stress=getattr(args, "stress", "none"),
+                             seed=getattr(args, "stress_seed", 0))
 
 
 def _machine(name: str):
@@ -105,7 +115,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     with _TraceOut(args) as out:
         result = run_allocator(module, allocator, machine,
                                spill_cleanup=args.spill_cleanup,
-                               trace=out.tracer())
+                               trace=out.tracer(), context=_context(args))
     outcome = simulate(result.module, machine)
     for value in outcome.output:
         print(value)
@@ -126,16 +136,17 @@ def cmd_compile(args: argparse.Namespace) -> int:
     with _TraceOut(args) as out:
         result = run_allocator(module, allocator, machine,
                                spill_cleanup=args.spill_cleanup,
-                               trace=out.tracer())
+                               trace=out.tracer(), context=_context(args))
     print(print_module(result.module))
     return 0
 
 
 def _comparison(module, machine, spill_cleanup: bool,
-                trace: Tracer | None = None, jobs: int = 1) -> str:
+                trace: Tracer | None = None, jobs: int = 1,
+                context: AllocationContext = DEFAULT_CONTEXT) -> str:
     reference = simulate(module, machine)
     cells = compare_allocators(module, machine, spill_cleanup=spill_cleanup,
-                               jobs=jobs, trace=trace)
+                               jobs=jobs, trace=trace, context=context)
     rows = []
     for cell in cells:
         if not outputs_equal(cell.output, reference.output):
@@ -153,7 +164,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     module = _load_module(args.file, machine)
     with _TraceOut(args) as out:
         print(_comparison(module, machine, args.spill_cleanup,
-                          trace=out.tracer(), jobs=args.jobs))
+                          trace=out.tracer(), jobs=args.jobs,
+                          context=_context(args)))
     return 0
 
 
@@ -194,7 +206,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"benchmark analog: {args.name} on {machine}")
     with _TraceOut(args) as out:
         print(_comparison(module, machine, args.spill_cleanup,
-                          trace=out.tracer(), jobs=args.jobs))
+                          trace=out.tracer(), jobs=args.jobs,
+                          context=_context(args)))
     return 0
 
 
@@ -210,7 +223,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             tracer = Tracer([RingBufferSink()])
         result = run_allocator(module, allocator, machine,
                                spill_cleanup=args.spill_cleanup,
-                               trace=tracer)
+                               trace=tracer, context=_context(args))
     rows = [[kind.value, count] for kind, count in tracer.counts.items()]
     print(format_table(["event", "count"], rows,
                        title=f"event summary: {allocator.name}"))
@@ -235,7 +248,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         result = run_allocator(module, allocator, machine,
                                spill_cleanup=args.spill_cleanup,
                                profiler=profiler, trace=out.tracer(),
-                               metrics=metrics)
+                               metrics=metrics, context=_context(args))
     stats = result.stats
     print(profiler.render(title=f"phase profile: {allocator.name}"))
     print(f"alloc_seconds = {stats.alloc_seconds * 1e3:.3f} ms "
@@ -246,11 +259,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.fuzz import CONFIG_GRID, fuzz
+    from repro.fuzz import CONFIG_GRID, STRESS_GRID, fuzz
 
-    configs = CONFIG_GRID
+    configs = STRESS_GRID if args.stress_grid else CONFIG_GRID
     if args.config:
-        by_name = {c.name: c for c in CONFIG_GRID}
+        by_name = {c.name: c for c in CONFIG_GRID + STRESS_GRID}
         unknown = [name for name in args.config if name not in by_name]
         if unknown:
             raise SystemExit(f"unknown config(s) {', '.join(unknown)}; "
@@ -271,10 +284,31 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if not report.ok and args.out:
         # One parseable witness: the first divergence's module, with the
         # attribution as ;;-comments (the IR comment marker), so the file
-        # feeds straight into tools/shrink_ir.py.
+        # feeds straight into tools/shrink_ir.py.  The context line makes
+        # the witness self-replaying: shrink_ir reads it back, so stress/
+        # remat failures reproduce with no flags to reconstruct by hand.
+        from repro.spill import AllocationContext
+
         div = report.divergences[0]
-        header = [f"{div.kind} config={div.config} {div.describe}",
-                  *div.message.splitlines()]
+        header = [f"{div.kind} config={div.config} {div.describe}"]
+        if div.context:
+            ctx = AllocationContext.parse(div.context)
+            machine = next((tok[len("machine="):]
+                            for tok in div.describe.split()
+                            if tok.startswith("machine=")), "")
+            if machine.startswith("tiny(") and machine.endswith(")"):
+                gpr, fpr = machine[len("tiny("):-1].split(",")
+                machine_args = ["--machine", "tiny",
+                                "--gpr", gpr, "--fpr", fpr]
+            elif machine:
+                machine_args = ["--machine", machine]
+            else:
+                machine_args = []
+            header.append(f"context={div.context}")
+            header.append(f"replay: tools/shrink_ir.py {args.out} "
+                          f"--config {div.config} --kind {div.kind} "
+                          f"{' '.join(machine_args + ctx.cli_args())}")
+        header.extend(div.message.splitlines())
         with open(args.out, "w") as fh:
             for line in header:
                 fh.write(f";; {line}\n")
@@ -366,6 +400,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Linear-scan register allocation reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def context_options(p: argparse.ArgumentParser):
+        p.add_argument("--remat", action="store_true",
+                       help="rematerialize single-definition constants "
+                            "instead of reloading them from spill slots")
+        p.add_argument("--stress", default="none", choices=list(STRESS_MODES),
+                       help="seeded allocator stress mode (default: none)")
+        p.add_argument("--stress-seed", type=int, default=0, metavar="N",
+                       help="seed for the stress mode's RNG (default: 0)")
+
     def common(p: argparse.ArgumentParser, with_allocator: bool = True):
         p.add_argument("--machine", default="alpha",
                        choices=["alpha", "tiny"],
@@ -374,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the post-allocation spill-code cleanup")
         p.add_argument("--trace-out", metavar="FILE.jsonl", default=None,
                        help="write allocation events as JSON lines")
+        context_options(p)
         if with_allocator:
             p.add_argument("--allocator", default="second-chance",
                            choices=sorted(ALLOCATORS),
@@ -449,7 +493,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_p.add_argument("--start", type=int, default=0, metavar="SEED",
                         help="first seed (default: 0)")
     fuzz_p.add_argument("--config", action="append", metavar="NAME",
-                        help="restrict to named config(s); repeatable")
+                        help="restrict to named config(s), from the default "
+                             "or stress grid; repeatable")
+    fuzz_p.add_argument("--stress-grid", action="store_true",
+                        help="fuzz the seeded stress grid (reduced-regs / "
+                             "forced-evict / shuffle, plus remat) instead "
+                             "of the BinpackOptions grid")
     fuzz_p.add_argument("--no-shrink", action="store_true",
                         help="report failing modules without minimizing")
     fuzz_p.add_argument("--shrink-budget", type=int, default=400,

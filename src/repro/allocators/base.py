@@ -32,6 +32,8 @@ from repro.lifetimes.intervals import LifetimeTable, compute_lifetimes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseProfiler
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.spill.context import DEFAULT_CONTEXT, AllocationContext
+from repro.spill.emitter import SpillCodeEmitter
 from repro.target.machine import MachineDescription
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pm -> base)
@@ -240,9 +242,14 @@ class RegisterAllocator(abc.ABC):
 
     @abc.abstractmethod
     def allocate_function(self, fn: Function, machine: MachineDescription,
-                          shared: SharedAnalyses, slots: SpillSlots,
+                          shared: SharedAnalyses, emitter: SpillCodeEmitter,
                           stats: AllocationStats) -> None:
-        """Allocate registers for one function, in place."""
+        """Allocate registers for one function, in place.
+
+        Spill code goes through ``emitter`` (which owns the slot table
+        and the static spill accounting); the emitter's context also
+        supplies the register selection order and the stress hooks.
+        """
 
     def fresh(self) -> "RegisterAllocator":
         """A new instance with the same configuration (allocators may keep
@@ -255,7 +262,8 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
                     trace: Tracer | None = None,
                     profiler: PhaseProfiler | None = None,
                     metrics: MetricsRegistry | None = None,
-                    session: "CompilationSession | None" = None
+                    session: "CompilationSession | None" = None,
+                    context: AllocationContext | None = None
                     ) -> AllocationStats:
     """Run ``allocator`` over every function of ``module`` (in place).
 
@@ -272,7 +280,14 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
     is invalidated in that cache right after allocation rewrites it, per
     the invalidation contract (the allocators insert spill code and split
     edges, so nothing survives).
+
+    ``context`` (default: the inert :data:`~repro.spill.DEFAULT_CONTEXT`)
+    configures rematerialization and the seeded stress modes; it is
+    handed to every allocator through the per-function
+    :class:`~repro.spill.SpillCodeEmitter`.
     """
+    if context is None:
+        context = DEFAULT_CONTEXT
     # `is None` checks, not `or`: an empty MetricsRegistry is falsy.
     stats = AllocationStats(
         allocator=allocator.name,
@@ -290,9 +305,10 @@ def allocate_module(module: Module, allocator: RegisterAllocator,
             else:
                 shared = SharedAnalyses.build(fn, machine, prof)
         slots = SpillSlots()
+        emitter = SpillCodeEmitter(fn, machine, context, slots, stats)
         stats.candidates[fn.name] = len(fn.all_temps())
         with prof.phase("allocate") as core:
-            allocator.allocate_function(fn, machine, shared, slots, stats)
+            allocator.allocate_function(fn, machine, shared, emitter, stats)
         stats.alloc_seconds += core.seconds
         with prof.phase("frame.callee_saved"):
             used = insert_callee_saved_code(fn, machine, slots)

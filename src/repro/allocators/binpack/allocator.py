@@ -43,7 +43,6 @@ from repro.allocators.base import (
     AllocationStats,
     RegisterAllocator,
     SharedAnalyses,
-    SpillSlots,
     eviction_priority,
 )
 from repro.allocators.binpack.resolution import resolve_edges
@@ -54,6 +53,7 @@ from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
 from repro.lifetimes.intervals import LifetimeTable, RangeSet
 from repro.obs.trace import EventKind
+from repro.spill.emitter import SpillCodeEmitter
 from repro.target.machine import MachineDescription
 
 #: Stands in for "no reservation / occupant ever again".
@@ -163,10 +163,10 @@ class SecondChanceBinpacking(RegisterAllocator):
     # ------------------------------------------------------------------
     # Eviction.
     # ------------------------------------------------------------------
-    def _evict(self, state: ScanState, table: LifetimeTable, slots: SpillSlots,
-               stats: AllocationStats, temp: Temp, reg: PhysReg, point: int,
-               pre: list[Instr], locked: set[PhysReg], *,
-               allow_move: bool) -> None:
+    def _evict(self, state: ScanState, table: LifetimeTable,
+               emitter: SpillCodeEmitter, stats: AllocationStats, temp: Temp,
+               reg: PhysReg, point: int, pre: list[Instr],
+               locked: set[PhysReg], *, allow_move: bool) -> None:
         """Take ``reg`` away from ``temp`` at ``point`` (Section 2.3/2.5).
 
         Emits nothing when the value is dead or in a hole; elides the
@@ -188,21 +188,17 @@ class SecondChanceBinpacking(RegisterAllocator):
             return
         if allow_move and self.options.early_second_chance:
             target = self._find_empty_register(
-                state, table, temp, point, locked)
+                state, table, emitter, temp, point, locked)
             if target is not None:
                 op = Op.MOV if temp.regclass is RegClass.GPR else Op.FMOV
-                pre.append(Instr(op, defs=[target], uses=[reg],
-                                 spill_phase=SpillPhase.EVICT))
-                stats.bump_spill(SpillPhase.EVICT, "move")
+                pre.append(emitter.move(op, target, reg, SpillPhase.EVICT))
                 if tr.enabled:
                     tr.emit(EventKind.EVICT, point=point, temp=temp, reg=reg,
                             detail=f"move->{target}")
                 state.displace(temp)
                 state.place(temp, target)
                 return
-        pre.append(Instr(Op.STS, uses=[reg], slot=slots.home(temp),
-                         spill_phase=SpillPhase.EVICT))
-        stats.bump_spill(SpillPhase.EVICT, "store")
+        pre.append(emitter.store(temp, reg, SpillPhase.EVICT))
         if tr.enabled:
             tr.emit(EventKind.EVICT, point=point, temp=temp, reg=reg,
                     detail="store")
@@ -212,7 +208,7 @@ class SecondChanceBinpacking(RegisterAllocator):
         state.displace(temp)
 
     def _find_empty_register(self, state: ScanState, table: LifetimeTable,
-                             temp: Temp, point: int,
+                             emitter: SpillCodeEmitter, temp: Temp, point: int,
                              locked: set[PhysReg]) -> PhysReg | None:
         """An occupant-free register whose hole holds ``temp``'s remaining
         live ranges (the early-second-chance target search).
@@ -228,7 +224,7 @@ class SecondChanceBinpacking(RegisterAllocator):
         """
         machine = table.machine
         remaining = self._remaining_ranges(table, temp, point)
-        for reg in machine.regs(temp.regclass):
+        for reg in emitter.register_order(temp.regclass):
             if reg in locked:
                 continue
             if machine.is_callee_saved(reg) and reg not in state.ever_used:
@@ -245,8 +241,8 @@ class SecondChanceBinpacking(RegisterAllocator):
     # Register selection (Section 2.2's binpacking search).
     # ------------------------------------------------------------------
     def _find_register(self, state: ScanState, table: LifetimeTable,
-                       slots: SpillSlots, stats: AllocationStats, temp: Temp,
-                       point: int, locked: set[PhysReg],
+                       emitter: SpillCodeEmitter, stats: AllocationStats,
+                       temp: Temp, point: int, locked: set[PhysReg],
                        pre: list[Instr]) -> PhysReg:
         """Choose (and if necessary free up) a register for ``temp``.
 
@@ -255,13 +251,12 @@ class SecondChanceBinpacking(RegisterAllocator):
         the same allocation — and therefore the same benchmark numbers —
         across runs, hash seeds, and Python versions.
         """
-        machine = table.machine
         remaining = self._remaining_ranges(table, temp, point)
         best_fit: PhysReg | None = None
         best_fit_key = (_INF + 1, -1)  # (hole end, register index), minimized
         largest: PhysReg | None = None
         largest_key = (-point, -1)  # (-hole end, register index), minimized
-        for reg in machine.regs(temp.regclass):
+        for reg in emitter.register_order(temp.regclass):
             if reg in locked:
                 continue
             hole_end, _resume = self._hole_end(state, table, reg, point)
@@ -288,9 +283,16 @@ class SecondChanceBinpacking(RegisterAllocator):
                 if key < largest_key:
                     largest, largest_key = reg, key
         chosen = best_fit if best_fit is not None else largest
-        if chosen is None:
-            chosen = self._evict_lowest_priority(
-                state, table, slots, stats, temp, point, locked, pre)
+        # Under forced-evict stress, sometimes take the eviction path even
+        # though a register was available; fall back to the free register
+        # when nothing is evictable.
+        if chosen is None or emitter.force_evict():
+            try:
+                chosen = self._evict_lowest_priority(
+                    state, table, emitter, stats, temp, point, locked, pre)
+            except AllocationError:
+                if chosen is None:
+                    raise
         tr = stats.trace
         if tr.enabled:
             shared_hole = bool(state.occupants_of(chosen))
@@ -300,8 +302,9 @@ class SecondChanceBinpacking(RegisterAllocator):
         return chosen
 
     def _evict_lowest_priority(self, state: ScanState, table: LifetimeTable,
-                               slots: SpillSlots, stats: AllocationStats,
-                               temp: Temp, point: int, locked: set[PhysReg],
+                               emitter: SpillCodeEmitter,
+                               stats: AllocationStats, temp: Temp, point: int,
+                               locked: set[PhysReg],
                                pre: list[Instr]) -> PhysReg:
         """No free hole: evict the lowest-priority live occupant.
 
@@ -313,7 +316,7 @@ class SecondChanceBinpacking(RegisterAllocator):
         victim_reg: PhysReg | None = None
         victim: Temp | None = None
         worst = (float("inf"), -1)  # (priority, register index), minimized
-        for reg in table.machine.regs(temp.regclass):
+        for reg in emitter.register_order(temp.regclass):
             if reg in locked or table.reserved_for(reg).covers(point):
                 continue
             blocking = [t for t in state.occupants_of(reg)
@@ -336,7 +339,7 @@ class SecondChanceBinpacking(RegisterAllocator):
             raise AllocationError(
                 f"no register of class {temp.regclass.name} available for "
                 f"{temp} at point {point} (file too small)")
-        self._evict(state, table, slots, stats, victim, victim_reg, point,
+        self._evict(state, table, emitter, stats, victim, victim_reg, point,
                     pre, locked, allow_move=False)
         # Hole claimants whose hole cannot also host the newcomer lose
         # their claim (no code needed: a hole holds no value).
@@ -350,7 +353,7 @@ class SecondChanceBinpacking(RegisterAllocator):
     # The scan.
     # ------------------------------------------------------------------
     def allocate_function(self, fn: Function, machine: MachineDescription,
-                          shared: SharedAnalyses, slots: SpillSlots,
+                          shared: SharedAnalyses, emitter: SpillCodeEmitter,
                           stats: AllocationStats) -> None:
         table = shared.lifetimes
         state = ScanState(table, shared.liveness, shared.cfg)
@@ -372,7 +375,7 @@ class SecondChanceBinpacking(RegisterAllocator):
                     locked: set[PhysReg] = set()
 
                     # 1. Reservation events: convention reclaims registers.
-                    self._process_reservations(state, table, slots, stats,
+                    self._process_reservations(state, table, emitter, stats,
                                                use_point, pre, locked)
 
                     # 2. Uses.
@@ -382,17 +385,19 @@ class SecondChanceBinpacking(RegisterAllocator):
                             continue
                         reg = state.loc.get(use)
                         if reg is None:
-                            reg = self._find_register(state, table, slots,
+                            reg = self._find_register(state, table, emitter,
                                                       stats, use, use_point,
                                                       locked, pre)
-                            pre.append(Instr(Op.LDS, defs=[reg],
-                                             slot=slots.home(use),
-                                             spill_phase=SpillPhase.EVICT))
-                            stats.bump_spill(SpillPhase.EVICT, "load")
+                            reload = emitter.reload(use, reg, SpillPhase.EVICT)
+                            pre.append(reload)
                             if tr.enabled:
                                 tr.emit(EventKind.SECOND_CHANCE_RELOAD,
                                         point=use_point, temp=use, reg=reg)
-                            state.set_consistent(use)
+                            if not emitter.rematerialized(reload):
+                                # A remat leaves memory untouched, so the
+                                # register/memory consistency bit must not
+                                # be raised for it.
+                                state.set_consistent(use)
                         instr.uses[i] = reg
                         locked.add(reg)
 
@@ -407,10 +412,10 @@ class SecondChanceBinpacking(RegisterAllocator):
                             reg = self._try_move_elimination(
                                 state, table, stats, instr, dst, def_point)
                         if reg is None:
-                            reg = self._find_register(state, table, slots,
+                            reg = self._find_register(state, table, emitter,
                                                       stats, dst, def_point,
                                                       locked, pre)
-                        if tr.enabled and slots.has_home(dst):
+                        if tr.enabled and emitter.has_home(dst):
                             # The redefined value's memory home goes stale:
                             # its store back is postponed until eviction.
                             tr.emit(EventKind.SPILL_STORE_POSTPONED,
@@ -426,7 +431,7 @@ class SecondChanceBinpacking(RegisterAllocator):
 
         with stats.profiler.phase("allocate.resolve"):
             iterations = resolve_edges(
-                fn, machine, shared, state, slots, stats,
+                fn, machine, shared, state, emitter, stats,
                 avoid_consistent_stores=opts.avoid_consistent_stores,
                 run_dataflow=(opts.avoid_consistent_stores
                               and not opts.conservative_consistency))
@@ -439,8 +444,9 @@ class SecondChanceBinpacking(RegisterAllocator):
                            state.stat_consistency_assumptions)
 
     def _process_reservations(self, state: ScanState, table: LifetimeTable,
-                              slots: SpillSlots, stats: AllocationStats,
-                              use_point: int, pre: list[Instr],
+                              emitter: SpillCodeEmitter,
+                              stats: AllocationStats, use_point: int,
+                              pre: list[Instr],
                               locked: set[PhysReg]) -> None:
         """Evict occupants of registers the convention claims during the
         current instruction window ``[use_point, use_point + 2)``."""
@@ -454,8 +460,8 @@ class SecondChanceBinpacking(RegisterAllocator):
             if not table.reserved_for(reg).overlaps_interval(use_point, window_end):
                 continue
             for temp in list(claim):
-                self._evict(state, table, slots, stats, temp, reg, use_point,
-                            pre, locked, allow_move=True)
+                self._evict(state, table, emitter, stats, temp, reg,
+                            use_point, pre, locked, allow_move=True)
 
     def _try_move_elimination(self, state: ScanState, table: LifetimeTable,
                               stats: AllocationStats, instr: Instr, dst: Temp,

@@ -41,7 +41,7 @@ contribute gen bits too (computed in a pre-pass before the dataflow).
 
 from __future__ import annotations
 
-from repro.allocators.base import AllocationStats, SharedAnalyses, SpillSlots
+from repro.allocators.base import AllocationStats, SharedAnalyses
 from repro.allocators.binpack.state import MEM, BlockRecord, Location, ScanState
 from repro.cfg.cfg import split_edge
 from repro.dataflow.framework import DataflowProblem, Direction, solve
@@ -51,6 +51,7 @@ from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
 from repro.obs.trace import EventKind
+from repro.spill.emitter import SpillCodeEmitter
 from repro.target.machine import MachineDescription
 
 
@@ -59,7 +60,7 @@ def _move_op(cls: RegClass) -> Op:
 
 
 def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
-                        slots: SpillSlots,
+                        emitter: SpillCodeEmitter,
                         stats: AllocationStats) -> list[Instr]:
     """Order one edge's parallel register moves; break cycles via memory.
 
@@ -81,9 +82,8 @@ def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
                           if j != i)
             if blocked:
                 continue
-            out.append(Instr(_move_op(temp.regclass), defs=[dst], uses=[src],
-                             spill_phase=SpillPhase.RESOLVE))
-            stats.bump_spill(SpillPhase.RESOLVE, "move")
+            out.append(emitter.move(_move_op(temp.regclass), dst, src,
+                                    SpillPhase.RESOLVE))
             if tr.enabled:
                 tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp, reg=dst,
                         detail="move")
@@ -92,13 +92,8 @@ def sequentialize_moves(moves: list[tuple[PhysReg, PhysReg, Temp]],
             break
         if not emitted:
             src, dst, temp = pending.pop(0)
-            home = slots.home(temp)
-            out.append(Instr(Op.STS, uses=[src], slot=home,
-                             spill_phase=SpillPhase.RESOLVE))
-            stats.bump_spill(SpillPhase.RESOLVE, "store")
-            deferred.append(Instr(Op.LDS, defs=[dst], slot=home,
-                                  spill_phase=SpillPhase.RESOLVE))
-            stats.bump_spill(SpillPhase.RESOLVE, "load")
+            out.append(emitter.store(temp, src, SpillPhase.RESOLVE))
+            deferred.append(emitter.reload(temp, dst, SpillPhase.RESOLVE))
             if tr.enabled:
                 tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp, reg=src,
                         detail="store (cycle break)")
@@ -164,8 +159,9 @@ def _place_batch(fn: Function, shared: SharedAnalyses, pred: str, succ: str,
 
 
 def resolve_edges(fn: Function, machine: MachineDescription,
-                  shared: SharedAnalyses, state: ScanState, slots: SpillSlots,
-                  stats: AllocationStats, *, avoid_consistent_stores: bool,
+                  shared: SharedAnalyses, state: ScanState,
+                  emitter: SpillCodeEmitter, stats: AllocationStats, *,
+                  avoid_consistent_stores: bool,
                   run_dataflow: bool) -> int:
     """Run resolution over every CFG edge.  Returns the number of
     iterations the consistency dataflow needed (0 when not run)."""
@@ -230,10 +226,8 @@ def resolve_edges(fn: Function, machine: MachineDescription,
                         # does not deliver (Section 2.4's insertion rule).
                         needs_store = True
                     if needs_store:
-                        stores.append(Instr(Op.STS, uses=[src],
-                                            slot=slots.home(temp),
-                                            spill_phase=SpillPhase.RESOLVE))
-                        stats.bump_spill(SpillPhase.RESOLVE, "store")
+                        stores.append(emitter.store(temp, src,
+                                                    SpillPhase.RESOLVE))
                         if tr.enabled:
                             tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp,
                                     reg=src, detail=f"store{edge}")
@@ -241,16 +235,14 @@ def resolve_edges(fn: Function, machine: MachineDescription,
                         moves.append((src, dst, temp))
                 else:  # src is MEM; the scan guarantees dst in {MEM, reg}
                     if isinstance(dst, PhysReg):
-                        loads.append(Instr(Op.LDS, defs=[dst],
-                                           slot=slots.home(temp),
-                                           spill_phase=SpillPhase.RESOLVE))
-                        stats.bump_spill(SpillPhase.RESOLVE, "load")
+                        loads.append(emitter.reload(temp, dst,
+                                                    SpillPhase.RESOLVE))
                         if tr.enabled:
                             tr.emit(EventKind.RESOLUTION_EDGE_FIX, temp=temp,
                                     reg=dst, detail=f"load{edge}")
             if not (stores or moves or loads):
                 continue
-            batch = stores + sequentialize_moves(moves, slots, stats) + loads
+            batch = stores + sequentialize_moves(moves, emitter, stats) + loads
             stats.metrics.bump("binpack.resolution.edges_patched")
             stats.metrics.bump("binpack.resolution.instructions", len(batch))
             _place_batch(fn, shared, pred, succ, batch, bottom_written)

@@ -35,13 +35,13 @@ from repro.allocators.base import (
     AllocationStats,
     RegisterAllocator,
     SharedAnalyses,
-    SpillSlots,
     eviction_priority,
 )
 from repro.ir.function import Function
 from repro.ir.instr import Instr
 from repro.ir.temp import PhysReg, Temp
 from repro.lifetimes.intervals import LifetimeTable
+from repro.spill.emitter import SpillCodeEmitter
 from repro.target.machine import MachineDescription
 
 
@@ -63,28 +63,31 @@ class TwoPassBinpacking(RegisterAllocator):
         self.name = "two-pass binpacking"
 
     def allocate_function(self, fn: Function, machine: MachineDescription,
-                          shared: SharedAnalyses, slots: SpillSlots,
+                          shared: SharedAnalyses, emitter: SpillCodeEmitter,
                           stats: AllocationStats) -> None:
         table = shared.lifetimes
-        forced_memory: set[Temp] = set()
+        # Forced-evict stress pre-seeds memory residents; empty by default.
+        forced_memory: set[Temp] = emitter.forced_memory(
+            t for t in table.temps if isinstance(t, Temp))
         while True:
-            decision = self._decide(table, machine, forced_memory)
+            decision = self._decide(table, emitter, forced_memory)
             if decision.victim is None:
                 break
             forced_memory.add(decision.victim)
-        rewrite_whole_lifetime(fn, slots, stats, decision.assignment,
+        rewrite_whole_lifetime(fn, emitter, stats, decision.assignment,
                                decision.scratch)
 
     # ------------------------------------------------------------------
     # Decision pass.
     # ------------------------------------------------------------------
-    def _register_order(self, machine: MachineDescription, temp: Temp) -> list[PhysReg]:
+    def _register_order(self, emitter: SpillCodeEmitter,
+                        temp: Temp) -> tuple[PhysReg, ...]:
         """Caller-saved first: using a callee-saved register costs a
-        save/restore pair, so it is the fallback."""
-        cls = temp.regclass
-        return list(machine.caller_saved(cls)) + list(machine.callee_saved(cls))
+        save/restore pair, so it is the fallback.  (Stress contexts may
+        reorder or shrink this through the emitter.)"""
+        return emitter.register_order(temp.regclass, prefer_caller_saved=True)
 
-    def _decide(self, table: LifetimeTable, machine: MachineDescription,
+    def _decide(self, table: LifetimeTable, emitter: SpillCodeEmitter,
                 forced_memory: set[Temp]) -> _Decision:
         decision = _Decision()
         decision.memory |= forced_memory
@@ -115,7 +118,7 @@ class TwoPassBinpacking(RegisterAllocator):
             for temp in instr.temps():
                 if temp in decision.assignment or temp in decision.memory:
                     continue
-                for reg in self._register_order(machine, temp):
+                for reg in self._register_order(emitter, temp):
                     if whole_lifetime_fits(temp, reg):
                         decision.assignment[temp] = reg
                         committed.setdefault(reg, []).append(temp)
@@ -132,7 +135,7 @@ class TwoPassBinpacking(RegisterAllocator):
                 if key in decision.scratch:
                     continue
                 chosen = None
-                for reg in self._register_order(machine, temp):
+                for reg in self._register_order(emitter, temp):
                     if point_free(reg, start, end, locked):
                         chosen = reg
                         break

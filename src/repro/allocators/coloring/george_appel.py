@@ -52,7 +52,6 @@ from repro.allocators.base import (
     AllocationStats,
     RegisterAllocator,
     SharedAnalyses,
-    SpillSlots,
 )
 from repro.allocators.coloring.ifgraph import IndexGraph
 from repro.allocators.coloring.orderedset import OrderedSet
@@ -67,6 +66,7 @@ from repro.ir.instr import Instr, Op, SpillPhase
 from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
 from repro.obs.trace import EventKind
+from repro.spill.emitter import SpillCodeEmitter
 from repro.target.machine import MachineDescription
 
 #: Backward-compatible alias — the worklist set moved to its own module
@@ -87,23 +87,28 @@ class _ClassColoring:
 
     def __init__(self, fn: Function, machine: MachineDescription,
                  shared: SharedAnalyses, regclass: RegClass,
-                 slots: SpillSlots, stats: AllocationStats,
+                 emitter: SpillCodeEmitter, stats: AllocationStats,
                  build: str = "sweep"):
         self.fn = fn
         self.machine = machine
         self.shared = shared
         self.regclass = regclass
-        self.slots = slots
+        self.emitter = emitter
         self.stats = stats
         self.build_mode = build
-        self.k = machine.file_size(regclass)
         self.precolored_regs = list(machine.regs(regclass))
         self.n_pre = len(self.precolored_regs)
         # Color preference: caller-saved first; a temporary that can live
         # in a caller-saved register should, so the callee-save prologue
-        # stays small.
-        self.color_order = (list(machine.caller_saved(regclass))
-                            + list(machine.callee_saved(regclass)))
+        # stays small.  Stress contexts may reorder or shrink the list
+        # (the precolored node space always stays the full file).
+        self.color_order = list(
+            emitter.register_order(regclass, prefer_caller_saved=True))
+        # k is the number of *assignable* colors.  Equal to the file size
+        # by construction in the default context; smaller under
+        # reduced-regs stress (which is what keeps the spill-and-iterate
+        # loop terminating there).
+        self.k = len(self.color_order)
         # The precolored prefix of the node space is identical every
         # round, so the index-space views of the calling convention are
         # computed once here.
@@ -123,6 +128,14 @@ class _ClassColoring:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Color until no node spills, then rewrite temps to registers."""
+        forced = {t for t in self.emitter.forced_memory(
+                      t for instr in self.fn.instructions()
+                      for t in instr.temps())
+                  if t.regclass is self.regclass}
+        if forced:
+            # Forced-evict stress: pre-spill a seeded sample before the
+            # first build round, as if round 0 had failed to color them.
+            self._rewrite_spills(forced)
         while True:
             self.rounds += 1
             self._init_round()
@@ -142,7 +155,8 @@ class _ClassColoring:
             self._assign_colors()
             if not self.spilled_nodes:
                 break
-            self._rewrite_spills()
+            nodes = self.graph.nodes
+            self._rewrite_spills({nodes[i] for i in self.spilled_nodes})
         self._apply_colors()
 
     def _init_round(self) -> None:
@@ -452,9 +466,7 @@ class _ClassColoring:
                     tr.emit(EventKind.ASSIGN, temp=nodes[n], reg=nodes[chosen],
                             detail=f"color (round {rounds})")
 
-    def _rewrite_spills(self) -> None:
-        nodes = self.graph.nodes
-        spilled = {nodes[i] for i in self.spilled_nodes}
+    def _rewrite_spills(self, spilled: set[Temp]) -> None:
         tr = self.stats.trace
         for block in self.fn.blocks:
             if tr.enabled:
@@ -471,10 +483,8 @@ class _ClassColoring:
                             t = self.fn.new_temp(self.regclass)
                             fresh[use] = t
                             self.spill_generated.add(t)
-                            pre.append(Instr(Op.LDS, defs=[t],
-                                             slot=self.slots.home(use),
-                                             spill_phase=SpillPhase.EVICT))
-                            self.stats.bump_spill(SpillPhase.EVICT, "load")
+                            pre.append(self.emitter.reload(
+                                use, t, SpillPhase.EVICT))
                             if tr.enabled:
                                 tr.emit(EventKind.SECOND_CHANCE_RELOAD,
                                         temp=use,
@@ -484,10 +494,8 @@ class _ClassColoring:
                     if dst in spilled:
                         t = self.fn.new_temp(self.regclass)
                         self.spill_generated.add(t)
-                        post.append(Instr(Op.STS, uses=[t],
-                                          slot=self.slots.home(dst),
-                                          spill_phase=SpillPhase.EVICT))
-                        self.stats.bump_spill(SpillPhase.EVICT, "store")
+                        post.append(self.emitter.store(
+                            dst, t, SpillPhase.EVICT))
                         if tr.enabled:
                             tr.emit(EventKind.SPILL_STORE_EMITTED, temp=dst,
                                     detail=f"coloring store via {t}")
@@ -538,12 +546,12 @@ class GraphColoring(RegisterAllocator):
         self.build = build
 
     def allocate_function(self, fn: Function, machine: MachineDescription,
-                          shared: SharedAnalyses, slots: SpillSlots,
+                          shared: SharedAnalyses, emitter: SpillCodeEmitter,
                           stats: AllocationStats) -> None:
         rounds = 0
         edges = 0
         for regclass in (RegClass.GPR, RegClass.FPR):
-            coloring = _ClassColoring(fn, machine, shared, regclass, slots,
+            coloring = _ClassColoring(fn, machine, shared, regclass, emitter,
                                       stats, build=self.build)
             with stats.profiler.phase(f"allocate.color.{regclass.name.lower()}"):
                 coloring.run()

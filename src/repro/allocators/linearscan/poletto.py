@@ -28,7 +28,6 @@ from repro.allocators.base import (
     AllocationStats,
     RegisterAllocator,
     SharedAnalyses,
-    SpillSlots,
     eviction_priority,
 )
 from repro.allocators.wholelife import rewrite_whole_lifetime
@@ -36,6 +35,7 @@ from repro.ir.function import Function
 from repro.ir.instr import Instr
 from repro.ir.temp import PhysReg, Temp
 from repro.lifetimes.intervals import LifetimeTable
+from repro.spill.emitter import SpillCodeEmitter
 from repro.target.machine import MachineDescription
 
 
@@ -46,14 +46,16 @@ class PolettoLinearScan(RegisterAllocator):
         self.name = "poletto linear scan"
 
     def allocate_function(self, fn: Function, machine: MachineDescription,
-                          shared: SharedAnalyses, slots: SpillSlots,
+                          shared: SharedAnalyses, emitter: SpillCodeEmitter,
                           stats: AllocationStats) -> None:
         table = shared.lifetimes
-        forced_memory: set[Temp] = set()
+        # Forced-evict stress pre-seeds memory residents; empty by default.
+        forced_memory: set[Temp] = emitter.forced_memory(
+            t for t in table.temps if isinstance(t, Temp))
         restarts = 0
         while True:
-            assignment = self._scan_intervals(table, machine, forced_memory)
-            scratch, victim = self._assign_scratches(table, machine,
+            assignment = self._scan_intervals(table, emitter, forced_memory)
+            scratch, victim = self._assign_scratches(table, emitter,
                                                      assignment)
             if victim is None:
                 break
@@ -61,7 +63,7 @@ class PolettoLinearScan(RegisterAllocator):
             restarts += 1
         stats.metrics.bump("linearscan.restarts", restarts)
         stats.metrics.bump("linearscan.memory_resident", len(forced_memory))
-        rewrite_whole_lifetime(fn, slots, stats, assignment, scratch)
+        rewrite_whole_lifetime(fn, emitter, stats, assignment, scratch)
 
     # ------------------------------------------------------------------
     # Interval sweep.
@@ -71,7 +73,7 @@ class PolettoLinearScan(RegisterAllocator):
         return lifetime.start, lifetime.end
 
     def _scan_intervals(self, table: LifetimeTable,
-                        machine: MachineDescription,
+                        emitter: SpillCodeEmitter,
                         forced_memory: set[Temp]) -> dict[Temp, PhysReg]:
         order = sorted((t for t in table.temps if isinstance(t, Temp)),
                        key=lambda t: (self._interval(table, t)[0], t.id))
@@ -88,8 +90,8 @@ class PolettoLinearScan(RegisterAllocator):
                 continue
             start, end = self._interval(table, temp)
             active = [a for a in active if self._interval(table, a)[1] > start]
-            regs = (list(machine.caller_saved(temp.regclass))
-                    + list(machine.callee_saved(temp.regclass)))
+            regs = emitter.register_order(temp.regclass,
+                                          prefer_caller_saved=True)
             chosen = next((r for r in regs if register_fits(r, start, end)),
                           None)
             if chosen is not None:
@@ -118,7 +120,7 @@ class PolettoLinearScan(RegisterAllocator):
     # Point lifetimes for memory residents.
     # ------------------------------------------------------------------
     def _assign_scratches(self, table: LifetimeTable,
-                          machine: MachineDescription,
+                          emitter: SpillCodeEmitter,
                           assignment: dict[Temp, PhysReg],
                           ) -> tuple[dict[tuple[Instr, Temp], PhysReg],
                                      Temp | None]:
@@ -141,8 +143,8 @@ class PolettoLinearScan(RegisterAllocator):
             for temp in instr.temps():
                 if temp in assignment or (instr, temp) in scratch:
                     continue
-                regs = (list(machine.caller_saved(temp.regclass))
-                        + list(machine.callee_saved(temp.regclass)))
+                regs = emitter.register_order(temp.regclass,
+                                              prefer_caller_saved=True)
                 chosen = next((r for r in regs
                                if r not in locked and not busy(r, start, end)),
                               None)

@@ -10,14 +10,15 @@ register after each def.
 
 from __future__ import annotations
 
-from repro.allocators.base import AllocationStats, SpillSlots
+from repro.allocators.base import AllocationStats
 from repro.ir.function import Function
-from repro.ir.instr import Instr, Op, SpillPhase
+from repro.ir.instr import Instr, SpillPhase
 from repro.ir.temp import PhysReg, Temp
 from repro.obs.trace import EventKind
+from repro.spill.emitter import SpillCodeEmitter
 
 
-def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
+def rewrite_whole_lifetime(fn: Function, emitter: SpillCodeEmitter,
                            stats: AllocationStats,
                            assignment: dict[Temp, PhysReg],
                            scratch: dict[tuple[Instr, Temp], PhysReg]) -> None:
@@ -47,10 +48,7 @@ def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
                 if reg is None:
                     reg = scratch[(instr, use)]
                     if use not in loaded:
-                        pre.append(Instr(Op.LDS, defs=[reg],
-                                         slot=slots.home(use),
-                                         spill_phase=SpillPhase.EVICT))
-                        stats.bump_spill(SpillPhase.EVICT, "load")
+                        pre.append(emitter.reload(use, reg, SpillPhase.EVICT))
                         if tr.enabled:
                             tr.emit(EventKind.SECOND_CHANCE_RELOAD, temp=use,
                                     reg=reg, detail="scratch reload")
@@ -62,10 +60,7 @@ def rewrite_whole_lifetime(fn: Function, slots: SpillSlots,
                 reg = assignment.get(dst)
                 if reg is None:
                     reg = scratch[(instr, dst)]
-                    post.append(Instr(Op.STS, uses=[reg],
-                                      slot=slots.home(dst),
-                                      spill_phase=SpillPhase.EVICT))
-                    stats.bump_spill(SpillPhase.EVICT, "store")
+                    post.append(emitter.store(dst, reg, SpillPhase.EVICT))
                     if tr.enabled:
                         tr.emit(EventKind.SPILL_STORE_EMITTED, temp=dst,
                                 reg=reg, detail="scratch store")

@@ -16,12 +16,14 @@ Entry points: ``repro fuzz`` on the command line, or :func:`fuzz` /
 """
 
 from repro.fuzz.generate import program_for_seed
-from repro.fuzz.harness import (CONFIG_GRID, Divergence, FuzzConfig,
-                                FuzzReport, check_config, fuzz, run_seed)
+from repro.fuzz.harness import (CONFIG_GRID, STRESS_GRID, Divergence,
+                                FuzzConfig, FuzzReport, check_config, fuzz,
+                                run_seed)
 from repro.fuzz.shrink import shrink_module
 
 __all__ = [
     "CONFIG_GRID",
+    "STRESS_GRID",
     "Divergence",
     "FuzzConfig",
     "FuzzReport",

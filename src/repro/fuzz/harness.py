@@ -23,6 +23,7 @@ resolution, second-chance paths) hide behind specific knob combinations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.allocators import (GraphColoring, PolettoLinearScan,
@@ -38,16 +39,28 @@ from repro.pipeline import run_allocator
 from repro.pm.batch import run_batch
 from repro.pm.session import CompilationSession
 from repro.sim import SimulationError, outputs_equal, simulate
+from repro.spill import DEFAULT_CONTEXT, AllocationContext
 from repro.target.machine import MachineDescription
 
 
 @dataclass(frozen=True)
 class FuzzConfig:
-    """One point of the allocator × options grid."""
+    """One point of the allocator × options × context grid."""
 
     name: str
     allocator: str  # "second-chance" | "two-pass" | "coloring" | "poletto"
     options: BinpackOptions | None = None
+    context: AllocationContext = DEFAULT_CONTEXT
+
+    def for_seed(self, seed: int) -> "FuzzConfig":
+        """The config actually checked for one fuzz seed: stress configs
+        derive their stress seed from the fuzz seed, so every seed
+        exercises a different register-drop/shuffle/eviction pattern
+        while staying fully replayable from the (seed, config) pair."""
+        if not self.context.stressed:
+            return self
+        return dataclasses.replace(self,
+                                   context=self.context.with_seed(seed))
 
     def make(self) -> RegisterAllocator:
         if self.allocator == "second-chance":
@@ -84,6 +97,22 @@ CONFIG_GRID: tuple[FuzzConfig, ...] = (
     FuzzConfig("poletto", "poletto"),
 )
 
+#: The stress grid: every allocator under every seeded stress mode, plus
+#: every allocator with rematerialization on.  Kept out of CONFIG_GRID so
+#: the default fuzz run still measures exactly the paper's pipeline; CI's
+#: stress-smoke leg and ``repro fuzz --stress`` run this one.  Each
+#: config's stress seed is derived per fuzz seed (:meth:`FuzzConfig.for_seed`).
+STRESS_GRID: tuple[FuzzConfig, ...] = tuple(
+    FuzzConfig(f"{allocator}@{mode}", allocator,
+               context=AllocationContext(stress=mode))
+    for mode in ("reduced-regs", "forced-evict", "shuffle")
+    for allocator in ("second-chance", "two-pass", "coloring", "poletto")
+) + tuple(
+    FuzzConfig(f"{allocator}+remat", allocator,
+               context=AllocationContext(remat=True))
+    for allocator in ("second-chance", "two-pass", "coloring", "poletto")
+)
+
 
 @dataclass
 class Divergence:
@@ -97,9 +126,14 @@ class Divergence:
     module_text: str  # IR text of the (shrunken) failing module
     shrunk_from: int  # instruction count before shrinking
     shrunk_to: int
+    #: The resolved allocation context (``AllocationContext.describe()``,
+    #: empty for the default) — together with the witness IR this is
+    #: everything a one-command ``tools/shrink_ir.py`` replay needs.
+    context: str = ""
 
     def format(self) -> str:
-        return (f"[{self.kind}] config={self.config} {self.describe}\n"
+        ctx = f" context={self.context}" if self.context else ""
+        return (f"[{self.kind}] config={self.config}{ctx} {self.describe}\n"
                 f"  {self.message}\n"
                 f"  witness shrunk {self.shrunk_from} -> {self.shrunk_to} "
                 f"instructions:\n{self.module_text}")
@@ -123,7 +157,8 @@ def check_config(module: Module, machine: MachineDescription,
     """
     try:
         result = run_allocator(module, config.make(), machine,
-                               verify_dataflow=True, session=session)
+                               verify_dataflow=True, session=session,
+                               context=config.context)
     except AllocationError as exc:
         return ("skip", str(exc))
     except AllocationVerifyError as exc:
@@ -232,7 +267,8 @@ def run_seed(seed: int, *, configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
                for fn in program.module.functions.values())
     for config in configs:
         rep.checks += 1
-        found = check_config(program.module, program.machine, config, ref,
+        resolved = config.for_seed(seed)
+        found = check_config(program.module, program.machine, resolved, ref,
                              session=session)
         if found is None:
             continue
@@ -243,13 +279,15 @@ def run_seed(seed: int, *, configs: tuple[FuzzConfig, ...] = CONFIG_GRID,
         witness = program.module
         if shrink and rep.shrinks < max_shrinks:
             rep.shrinks += 1
-            witness = _shrink_divergence(program, config, kind, shrink_budget)
+            witness = _shrink_divergence(program, resolved, kind,
+                                         shrink_budget)
         rep.divergences.append(Divergence(
             seed=seed, config=config.name, kind=kind, message=message,
             describe=program.describe, module_text=print_module(witness),
             shrunk_from=size,
             shrunk_to=sum(fn.instruction_count()
-                          for fn in witness.functions.values())))
+                          for fn in witness.functions.values()),
+            context=resolved.context.describe()))
     return rep
 
 

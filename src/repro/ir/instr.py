@@ -111,6 +111,7 @@ class SpillKind(enum.Enum):
     LOAD = "load"
     STORE = "store"
     MOVE = "move"
+    REMAT = "remat"  # constant re-issued in place of a reload from memory
 
 
 @dataclass(frozen=True)
@@ -213,6 +214,11 @@ class Instr:
         slot: Stack slot for ``LDS``/``STS``.
         spill_phase: Set on allocator-inserted instructions (see module
             docstring); ``None`` on original program code.
+        remat_for: For a rematerialization (an allocator-inserted
+            ``LI``/``FLI`` standing in for a reload), the spilled
+            temporary whose value is being recomputed.  Lets the
+            dataflow verifier treat the constant as a fresh definition
+            of that temporary rather than an unexpected spill opcode.
     """
 
     op: Op
@@ -223,6 +229,7 @@ class Instr:
     callee: str | None = None
     slot: StackSlot | None = None
     spill_phase: SpillPhase | None = None
+    remat_for: Temp | None = None
 
     @property
     def info(self) -> OpInfo:
@@ -257,6 +264,8 @@ class Instr:
             return SpillKind.STORE
         if self.op in MOVE_OPS:
             return SpillKind.MOVE
+        if self.op in (Op.LI, Op.FLI) and self.remat_for is not None:
+            return SpillKind.REMAT
         raise ValueError(f"unexpected spill-tagged opcode {self.op}")
 
     def regs(self) -> list[Reg]:
@@ -291,6 +300,7 @@ class Instr:
             callee=self.callee,
             slot=self.slot,
             spill_phase=self.spill_phase,
+            remat_for=self.remat_for,
         )
 
     def __str__(self) -> str:

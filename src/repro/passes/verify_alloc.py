@@ -320,6 +320,13 @@ class _DataflowVerifier:
             return
         if instr.op is Op.JMP:
             return  # split-block terminators
+        if instr.op in (Op.LI, Op.FLI) and instr.remat_for is not None:
+            # Rematerialization: the constant is the temporary's *only*
+            # definition, so re-issuing it re-establishes the current
+            # value of ``remat_for`` in the destination register — no
+            # stack slot involved, hence no staleness to check.
+            state[instr.defs[0]] = frozenset((instr.remat_for,))
+            return
         if record:  # pragma: no cover - no allocator emits other spill ops
             self.errors.append(
                 f"{self.fn.name}/{label}: unexpected spill-tagged "

@@ -18,6 +18,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import PhaseProfiler
 from repro.obs.trace import Tracer
 from repro.pm.session import CompilationSession, PipelineResult
+from repro.spill import AllocationContext
 from repro.target.machine import MachineDescription
 
 __all__ = ["PipelineResult", "run_allocator"]
@@ -30,7 +31,9 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
                   trace: Tracer | None = None,
                   profiler: PhaseProfiler | None = None,
                   metrics: MetricsRegistry | None = None,
-                  session: CompilationSession | None = None) -> PipelineResult:
+                  session: CompilationSession | None = None,
+                  context: "AllocationContext | None" = None,
+                  ) -> PipelineResult:
     """Clone ``module``, run DCE → allocation → peephole, verify, report.
 
     ``spill_cleanup`` additionally runs the post-allocation spill-code
@@ -48,6 +51,10 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
     ``trace``/``profiler``/``metrics`` plug observability into every
     stage (see :mod:`repro.obs`); defaults are no-op/fresh objects,
     reachable afterwards through the returned ``stats``.
+
+    ``context`` (an :class:`~repro.spill.AllocationContext`) switches on
+    rematerialization and the seeded stress modes; omitted, the run uses
+    the inert default and reproduces the paper's pipeline exactly.
 
     ``session`` joins an existing compilation session so repeated runs
     over the same module share one analysis cache and one DCE'd base
@@ -67,4 +74,4 @@ def run_allocator(module: Module, allocator: RegisterAllocator,
     return session.run(allocator, dce=dce, peephole=peephole,
                        spill_cleanup=spill_cleanup, verify=verify,
                        verify_dataflow=verify_dataflow, trace=trace,
-                       profiler=profiler, metrics=metrics)
+                       profiler=profiler, metrics=metrics, context=context)

@@ -35,6 +35,7 @@ from repro.ir.printer import print_module
 from repro.obs.trace import Tracer
 from repro.pm.session import CompilationSession
 from repro.sim import simulate
+from repro.spill import AllocationContext
 from repro.target.machine import MachineDescription
 
 
@@ -77,9 +78,10 @@ class CompareCell:
 
 
 def _cell(session: CompilationSession, name: str, spill_cleanup: bool,
-          trace: Tracer | None = None) -> CompareCell:
+          trace: Tracer | None = None,
+          context: AllocationContext | None = None) -> CompareCell:
     result = session.run(make_allocator(name), spill_cleanup=spill_cleanup,
-                         trace=trace)
+                         trace=trace, context=context)
     outcome = simulate(result.module, session.machine)
     return CompareCell(
         allocator=name,
@@ -94,14 +96,17 @@ def _cell(session: CompilationSession, name: str, spill_cleanup: bool,
 
 def _compare_worker(payload) -> CompareCell:
     """Process-pool entry: one allocator on a private session."""
-    module, machine, name, spill_cleanup = payload
-    return _cell(CompilationSession(module, machine), name, spill_cleanup)
+    module, machine, name, spill_cleanup, context = payload
+    return _cell(CompilationSession(module, machine), name, spill_cleanup,
+                 context=context)
 
 
 def compare_allocators(module: Module, machine: MachineDescription, *,
                        names: Sequence[str] | None = None,
                        spill_cleanup: bool = False, jobs: int = 1,
-                       trace: Tracer | None = None) -> list[CompareCell]:
+                       trace: Tracer | None = None,
+                       context: AllocationContext | None = None,
+                       ) -> list[CompareCell]:
     """Run every named allocator over ``module``; one cell per allocator.
 
     The workhorse behind ``repro compare`` / ``repro bench``.  With
@@ -112,7 +117,9 @@ def compare_allocators(module: Module, machine: MachineDescription, *,
     """
     names = list(names if names is not None else ALLOCATOR_FACTORIES)
     if jobs > 1 and trace is None and len(names) > 1:
-        payloads = [(module, machine, name, spill_cleanup) for name in names]
+        payloads = [(module, machine, name, spill_cleanup, context)
+                    for name in names]
         return run_batch(_compare_worker, payloads, jobs=jobs)
     session = CompilationSession(module, machine)
-    return [_cell(session, name, spill_cleanup, trace) for name in names]
+    return [_cell(session, name, spill_cleanup, trace, context)
+            for name in names]

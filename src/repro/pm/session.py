@@ -32,6 +32,7 @@ from repro.pm.analysis import AnalysisManager
 from repro.pm.passes import (DCE_PASS, PEEPHOLE_PASS, SPILL_CLEANUP_PASS,
                              PassManager, sum_spill_stats, verify_dataflow_pass,
                              verify_pass)
+from repro.spill import AllocationContext
 from repro.target.machine import MachineDescription
 
 
@@ -133,13 +134,18 @@ class CompilationSession:
             verify: bool = True, verify_dataflow: bool = False,
             trace: Tracer | None = None,
             profiler: PhaseProfiler | None = None,
-            metrics: MetricsRegistry | None = None) -> PipelineResult:
+            metrics: MetricsRegistry | None = None,
+            context: "AllocationContext | None" = None) -> PipelineResult:
         """Clone the prepared module, allocate, clean up, verify, report.
 
         Same contract and flags as :func:`repro.pipeline.run_allocator`
         (which delegates here); ``trace``/``profiler``/``metrics`` are
         per-run observability objects, reachable afterwards through the
-        returned ``stats``.
+        returned ``stats``.  ``context`` configures rematerialization and
+        the seeded stress modes (default: the inert
+        :data:`~repro.spill.DEFAULT_CONTEXT`) — session analyses are
+        context-independent, so runs under different contexts still share
+        one cache.
         """
         prof = profiler or PhaseProfiler()
         with prof.phase("pipeline.dce"):
@@ -154,7 +160,7 @@ class CompilationSession:
         snapshots = snapshot_module(working) if verify_dataflow else None
         stats = allocate_module(working, allocator.fresh(), self.machine,
                                 trace=trace, profiler=prof, metrics=metrics,
-                                session=self)
+                                session=self, context=context)
         if snapshots is not None:
             self.passes.run(verify_dataflow_pass(self.machine, snapshots),
                             working, profiler=prof)

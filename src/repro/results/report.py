@@ -23,7 +23,9 @@ from pathlib import Path
 from repro.results.store import CellKey, Record, ResultStore
 from repro.results.suite import (ABLATION_CONFIGS, ABLATION_PROGRAMS,
                                  BLOCK_ORDER_PROGRAMS, FAST_SET,
-                                 TABLE3_SIZES, TWOPASS_PROGRAMS)
+                                 REMAT_ALLOCATORS, REMAT_MACHINE,
+                                 REMAT_PROGRAMS, TABLE3_SIZES,
+                                 TWOPASS_PROGRAMS)
 from repro.stats.report import format_table
 
 #: Figure 3's category order (mirrors ``FIGURE3_CATEGORIES`` without
@@ -33,7 +35,8 @@ FIGURE3_KEYS = ["evict.load", "evict.store", "evict.move",
 
 #: The artifacts ``render_all`` produces, in report order.
 REPORT_FILES = ["table1.txt", "table2.txt", "table3.txt", "figure3.txt",
-                "ablations.txt", "block_order.txt", "section31_twopass.txt"]
+                "ablations.txt", "block_order.txt", "section31_twopass.txt",
+                "remat_ablation.txt"]
 
 
 class MissingCells(LookupError):
@@ -126,12 +129,16 @@ def figure3_rows(store: ResultStore, names: list[str]) -> list[list]:
         c = _quality(store, name, "coloring")
         if b["total_spill"] == 0 and c["total_spill"] == 0:
             continue  # the figure covers benchmarks with spill code
-        base = b["total_spill"] or 1
+        base = b["total_spill"]
         for tag, data in ((f"{name}-b", b), (f"{name}-c", c)):
-            normalized = [data["spill_categories"][key] / base
-                          for key in FIGURE3_KEYS]
-            rows.append([tag] + [f"{v:.3f}" for v in normalized]
-                        + [data["total_spill"]])
+            if base == 0:
+                # Nothing to normalize against: a ratio here would be a
+                # raw count in disguise (cf. SpillBreakdown.normalized_to).
+                cells = ["n/a" for _ in FIGURE3_KEYS]
+            else:
+                cells = [f"{data['spill_categories'][key] / base:.3f}"
+                         for key in FIGURE3_KEYS]
+            rows.append([tag] + cells + [data["total_spill"]])
     return rows
 
 
@@ -216,6 +223,40 @@ def render_section31(store: ResultStore) -> str:
                "(paper: wc 1.38x, eqntott 1.0004x)"))
 
 
+def remat_rows(store: ResultStore) -> list[list]:
+    rows = []
+    for name in REMAT_PROGRAMS:
+        for allocator in REMAT_ALLOCATORS:
+            def data(context: str) -> dict:
+                [record] = _cells(store, [CellKey(
+                    workload=f"analog:{name}", allocator=allocator,
+                    machine=REMAT_MACHINE, context=context)])
+                return record.data
+
+            def loads(d: dict) -> int:
+                cats = d["spill_categories"]
+                return cats.get("evict.load", 0) + cats.get("resolve.load", 0)
+
+            base, remat = data(""), data("remat")
+            remats = (remat["spill_categories"].get("evict.remat", 0)
+                      + remat["spill_categories"].get("resolve.remat", 0))
+            rows.append([f"{name}/{allocator}",
+                         loads(base), loads(remat), remats,
+                         base["cycles"], remat["cycles"],
+                         f"{remat['cycles'] / base['cycles']:.4f}"])
+    return rows
+
+
+def render_remat(store: ResultStore) -> str:
+    return format_table(
+        ["program/allocator", "loads off", "loads on", "remats",
+         "cycles off", "cycles on", "cycle ratio"],
+        remat_rows(store),
+        title=(f"Rematerialization ablation on {REMAT_MACHINE}: dynamic "
+               "spill loads and cycles with constant remat off/on "
+               "(re-issued li/fli replaces reloads; ratio < 1 = faster)"))
+
+
 def table3_rows(store: ResultStore, sizes: list[int] | None = None,
                 reps: int | None = None) -> tuple[list[list], int]:
     """Rows plus the repetition count the title reports (the minimum
@@ -280,6 +321,7 @@ def render_all(store: ResultStore, names: list[str] | None = None,
         "ablations.txt": render_ablations(store),
         "block_order.txt": render_block_order(store),
         "section31_twopass.txt": render_section31(store),
+        "remat_ablation.txt": render_remat(store),
     }
 
 
@@ -531,6 +573,6 @@ __all__ = ["FIGURE3_KEYS", "MissingCells", "REPORT_FILES", "TIMING_FILES",
            "diff_runs", "figure3_rows", "render_ablations", "render_all",
            "render_block_order", "render_figure3",
            "render_interference_trajectory", "render_perf_trajectory",
-           "render_runs", "render_section31", "render_table1",
-           "render_table2", "render_table3", "section31_rows", "table1_rows",
-           "table2_rows", "table3_rows"]
+           "render_remat", "render_runs", "render_section31", "render_table1",
+           "render_table2", "render_table3", "remat_rows", "section31_rows",
+           "table1_rows", "table2_rows", "table3_rows"]

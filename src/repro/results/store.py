@@ -93,6 +93,10 @@ class CellKey:
     order: str = "layout"      # block order: layout | rpo | scrambled
     kind: str = "quality"      # quality | timing | perf
     reps: int = 0              # timing cells: repetitions the medians cover
+    #: The allocation context as its canonical compact string
+    #: (``AllocationContext.describe()`` — e.g. ``"remat"`` or
+    #: ``"stress=shuffle,seed=7"``); empty for the paper's default.
+    context: str = ""
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "options",
@@ -100,14 +104,17 @@ class CellKey:
 
     def ident(self) -> str:
         """The stable index string for this cell (no hashing involved,
-        so it is also human-greppable in the segment files)."""
+        so it is also human-greppable in the segment files).  The
+        context suffix appears only for non-default contexts, so every
+        pre-existing record keeps its ident — and its cache hits."""
         opts = ",".join(f"{k}={v}" for k, v in self.options) or "-"
+        ctx = f"|ctx={self.context}" if self.context else ""
         return (f"{self.kind}|{self.workload}|{self.order}|{self.machine}"
                 f"|{self.allocator}|{opts}"
-                f"|cleanup={int(self.spill_cleanup)}|reps={self.reps}")
+                f"|cleanup={int(self.spill_cleanup)}|reps={self.reps}{ctx}")
 
     def to_json(self) -> dict:
-        return {
+        doc = {
             "workload": self.workload,
             "allocator": self.allocator,
             "machine": self.machine,
@@ -117,6 +124,9 @@ class CellKey:
             "kind": self.kind,
             "reps": self.reps,
         }
+        if self.context:
+            doc["context"] = self.context
+        return doc
 
     @classmethod
     def from_json(cls, doc: dict) -> "CellKey":
@@ -124,7 +134,8 @@ class CellKey:
                    machine=doc["machine"],
                    options=tuple((k, v) for k, v in doc["options"]),
                    spill_cleanup=doc["spill_cleanup"], order=doc["order"],
-                   kind=doc["kind"], reps=doc["reps"])
+                   kind=doc["kind"], reps=doc["reps"],
+                   context=doc.get("context", ""))
 
 
 @dataclass

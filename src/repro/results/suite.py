@@ -43,6 +43,14 @@ BLOCK_ORDERS = ["layout", "rpo", "scrambled"]
 TWOPASS_PROGRAMS = ["wc", "eqntott"]
 TABLE3_SIZES = [245, 6218, 6697]
 
+#: The rematerialization ablation: the two constant-heavy spill programs
+#: (the paper's own two-pass pair) on a register file small enough that
+#: single-definition constants actually spill — picked empirically;
+#: larger files leave eqntott spill-free and the ablation vacuous.
+REMAT_PROGRAMS = ["wc", "eqntott"]
+REMAT_MACHINE = "tiny:4x4"
+REMAT_ALLOCATORS = ("second-chance", "two-pass", "coloring", "poletto")
+
 #: The ablation grid: study column -> (allocator, BinpackOptions
 #: deviations, spill_cleanup).  Order is the report's column order.
 ABLATION_CONFIGS: dict[str, tuple[str, tuple[tuple[str, bool], ...], bool]] = {
@@ -201,7 +209,9 @@ def _execute_quality(key: CellKey, module, machine) -> dict:
     from repro.pm.session import CompilationSession
     from repro.sim import simulate
     from repro.sim.machine import outputs_equal
-    from repro.stats.spill import FIGURE3_CATEGORIES, spill_breakdown
+    from repro.spill import AllocationContext
+    from repro.stats.spill import (FIGURE3_CATEGORIES, REMAT_CATEGORIES,
+                                   spill_breakdown)
 
     reference = simulate(module, machine)
     session = CompilationSession(module, machine)
@@ -209,7 +219,8 @@ def _execute_quality(key: CellKey, module, machine) -> dict:
     profiler = PhaseProfiler()
     result = session.run(_allocator_for(key),
                          spill_cleanup=key.spill_cleanup,
-                         profiler=profiler, metrics=metrics)
+                         profiler=profiler, metrics=metrics,
+                         context=AllocationContext.parse(key.context))
     outcome = simulate(result.module, machine)
     if not outputs_equal(outcome.output, reference.output):
         raise SuiteError(f"{key.ident()}: allocation changed observable "
@@ -222,7 +233,7 @@ def _execute_quality(key: CellKey, module, machine) -> dict:
         "result": outcome.result,
         "spill_categories": {
             f"{phase.value}.{kind.value}": breakdown.category(phase, kind)
-            for phase, kind in FIGURE3_CATEGORIES},
+            for phase, kind in FIGURE3_CATEGORIES + REMAT_CATEGORIES},
         "total_spill": breakdown.total_spill,
         "allocated_sha": content_hash(print_module(result.module)),
         "alloc": {
@@ -309,6 +320,16 @@ def twopass_specs() -> list[CellKey]:
             for allocator in ("second-chance", "two-pass")]
 
 
+def remat_specs() -> list[CellKey]:
+    """The rematerialization ablation: every allocator on the remat pair,
+    once with the default context and once with remat on."""
+    return [CellKey(workload=f"analog:{name}", allocator=allocator,
+                    machine=REMAT_MACHINE, context=context)
+            for name in REMAT_PROGRAMS
+            for allocator in REMAT_ALLOCATORS
+            for context in ("", "remat")]
+
+
 def table3_specs(reps: int = 3, sizes: list[int] | None = None,
                  ) -> list[CellKey]:
     return [CellKey(workload=f"synthetic:{n}", allocator=allocator,
@@ -344,6 +365,7 @@ def standard_suite(bench_set: str = "fast", *, reps: int = 3,
     specs += ablation_specs()
     specs += block_order_specs()
     specs += twopass_specs()
+    specs += remat_specs()
     specs += table3_specs(reps)
     if bench_set == "full":
         specs += quality_specs(["wc", "compress"], machine="tiny:8x8",
@@ -456,8 +478,10 @@ def run_suite(specs: list[CellKey], store: ResultStore, *, jobs: int = 1,
 
 
 __all__ = ["ABLATION_CONFIGS", "ABLATION_PROGRAMS", "BLOCK_ORDERS",
-           "BLOCK_ORDER_PROGRAMS", "FAST_SET", "SUITES", "SuiteError",
+           "BLOCK_ORDER_PROGRAMS", "FAST_SET", "REMAT_ALLOCATORS",
+           "REMAT_MACHINE", "REMAT_PROGRAMS", "SUITES", "SuiteError",
            "SuiteOutcome", "TABLE3_SIZES", "TWOPASS_PROGRAMS",
            "block_order_specs", "build_workload", "cell_code_hash",
            "dedup_specs", "execute_cell", "fuzz_specs", "quality_specs",
-           "run_suite", "standard_suite", "table3_specs", "twopass_specs"]
+           "remat_specs", "run_suite", "standard_suite", "table3_specs",
+           "twopass_specs"]

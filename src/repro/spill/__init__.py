@@ -1,0 +1,22 @@
+"""Shared spill-decision layer.
+
+Every allocator used to re-implement its own spill-slot assignment,
+store/load emission, and accounting.  This package centralises that
+policy: :class:`~repro.spill.context.AllocationContext` carries the
+run-wide knobs (rematerialization, seeded stress modes) and
+:class:`~repro.spill.emitter.SpillCodeEmitter` owns the per-function
+mechanics — slot homes, store/load/move construction with the right
+``SpillPhase`` tag, per-category static accounting, and the decision
+to rematerialize a constant instead of reloading it from memory.
+"""
+
+from repro.spill.context import (DEFAULT_CONTEXT, STRESS_MODES,
+                                 AllocationContext)
+from repro.spill.emitter import SpillCodeEmitter
+
+__all__ = [
+    "AllocationContext",
+    "DEFAULT_CONTEXT",
+    "STRESS_MODES",
+    "SpillCodeEmitter",
+]

@@ -25,6 +25,15 @@ FIGURE3_CATEGORIES: list[tuple[SpillPhase, SpillKind]] = [
     (SpillPhase.RESOLVE, SpillKind.MOVE),
 ]
 
+#: Rematerialization re-issues.  Not part of the paper's six-way legend
+#: (the 1998 allocators never rematerialize) — tracked additively so
+#: Figure 3 renders unchanged with remat off, and the ablation can show
+#: the load -> remat shift with it on.
+REMAT_CATEGORIES: list[tuple[SpillPhase, SpillKind]] = [
+    (SpillPhase.EVICT, SpillKind.REMAT),
+    (SpillPhase.RESOLVE, SpillKind.REMAT),
+]
+
 
 @dataclass(frozen=True)
 class SpillBreakdown:
@@ -32,11 +41,17 @@ class SpillBreakdown:
 
     counts: tuple[int, ...]  # parallel to FIGURE3_CATEGORIES
     total_dynamic: int
+    remat_counts: tuple[int, ...] = (0, 0)  # parallel to REMAT_CATEGORIES
+
+    @property
+    def remat(self) -> int:
+        """Dynamic rematerializations (all phases)."""
+        return sum(self.remat_counts)
 
     @property
     def total_spill(self) -> int:
-        """All candidate spill instructions (evict + resolve)."""
-        return sum(self.counts)
+        """All candidate spill instructions (evict + resolve + remat)."""
+        return sum(self.counts) + self.remat
 
     def fraction(self) -> float:
         """Table 2's percentage (as a fraction of all dynamic instrs)."""
@@ -46,12 +61,23 @@ class SpillBreakdown:
 
     def category(self, phase: SpillPhase, kind: SpillKind) -> int:
         """One category's dynamic count."""
+        if kind is SpillKind.REMAT:
+            return self.remat_counts[REMAT_CATEGORIES.index((phase, kind))]
         return self.counts[FIGURE3_CATEGORIES.index((phase, kind))]
 
-    def normalized_to(self, baseline: "SpillBreakdown") -> list[float]:
+    def normalized_to(self, baseline: "SpillBreakdown") -> list[float] | None:
         """Figure 3's normalization: each category divided by the
-        *baseline allocator's* total spill count."""
-        base = baseline.total_spill or 1
+        *baseline allocator's* total spill count.
+
+        Returns ``None`` when the baseline inserted no spill code at all:
+        there is nothing to normalize against, and the old silent
+        ``or 1`` fallback let ablation tables print ratios that looked
+        meaningful but were raw counts in disguise.  Callers must render
+        the zero-baseline case explicitly (e.g. as ``n/a``).
+        """
+        base = baseline.total_spill
+        if not base:
+            return None
         return [c / base for c in self.counts]
 
 
@@ -59,4 +85,6 @@ def spill_breakdown(outcome: SimOutcome) -> SpillBreakdown:
     """Extract the Figure 3 categories from a simulation outcome."""
     counts = tuple(outcome.spill_counts.get((phase, kind), 0)
                    for phase, kind in FIGURE3_CATEGORIES)
-    return SpillBreakdown(counts, outcome.dynamic_instructions)
+    remat = tuple(outcome.spill_counts.get((phase, kind), 0)
+                  for phase, kind in REMAT_CATEGORIES)
+    return SpillBreakdown(counts, outcome.dynamic_instructions, remat)

@@ -104,7 +104,7 @@ class TestShrinker:
         assert set(shrunk.functions) == {"main"}
 
 
-def _naive_sequentialize(moves, slots, stats):
+def _naive_sequentialize(moves, emitter, stats):
     """A deliberately broken variant: emits moves in arbitrary order,
     clobbering sources that cycles still need (the classic swap bug the
     paper's Section 2.4 warns about)."""

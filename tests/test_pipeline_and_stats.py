@@ -123,6 +123,26 @@ class TestSpillBreakdown:
         assert b.normalized_to(a) == [0.25, 0.25, 0, 0, 0, 0]
         assert sum(a.normalized_to(a)) == pytest.approx(1.0)
 
+    def test_normalized_to_zero_baseline_is_none(self):
+        """A spill-free baseline has nothing to normalize against; the
+        old ``or 1`` fallback silently reported absolute counts as
+        ratios, which inflated spill-free rows in Figure 3."""
+        from repro.stats.spill import SpillBreakdown
+        empty = SpillBreakdown((0, 0, 0, 0, 0, 0), 100)
+        spilled = SpillBreakdown((3, 1, 0, 0, 0, 0), 100)
+        assert spilled.normalized_to(empty) is None
+        assert empty.normalized_to(empty) is None
+        # A non-zero baseline still yields ratios.
+        assert spilled.normalized_to(spilled) is not None
+
+    def test_remat_counts(self):
+        from repro.stats.spill import REMAT_CATEGORIES, SpillBreakdown
+        bd = SpillBreakdown((1, 2, 3, 0, 0, 0), 100, remat_counts=(4, 5))
+        assert bd.remat == 9
+        assert bd.total_spill == 6 + 9
+        for (phase, kind), want in zip(REMAT_CATEGORIES, (4, 5)):
+            assert bd.category(phase, kind) == want
+
 
 class TestFormatTable:
     def test_alignment_and_rendering(self):

@@ -21,10 +21,18 @@ from repro.ir.function import Function
 from repro.ir.instr import Instr, Op
 from repro.ir.temp import PhysReg, Temp
 from repro.ir.types import RegClass
+from repro.spill import DEFAULT_CONTEXT, SpillCodeEmitter
 from repro.target import tiny
 
 G = RegClass.GPR
 F = RegClass.FPR
+
+
+def _emitter(stats):
+    """A default-context emitter over an empty function: exactly the
+    slot-assignment + accounting behaviour the old bare SpillSlots had."""
+    return SpillCodeEmitter(Function("seq"), tiny(16, 16), DEFAULT_CONTEXT,
+                            SpillSlots(), stats)
 
 
 def execute_moves(instrs, initial):
@@ -51,7 +59,7 @@ def check_permutation(mapping):
         temp = Temp(G, i)
         moves.append((PhysReg(G, src), PhysReg(G, dst), temp))
     stats = AllocationStats("test")
-    instrs = sequentialize_moves(moves, SpillSlots(), stats)
+    instrs = sequentialize_moves(moves, _emitter(stats), stats)
     initial = {PhysReg(G, i): f"v{i}" for i in range(16)}
     final = execute_moves(instrs, initial)
     for dst, src in mapping.items():
@@ -86,12 +94,12 @@ class TestSequentializeMoves:
         stats = AllocationStats("test")
         reg = PhysReg(G, 1)
         assert sequentialize_moves([(reg, reg, Temp(G, 0))],
-                                   SpillSlots(), stats) == []
+                                   _emitter(stats), stats) == []
 
     def test_float_moves_use_fmov(self):
         stats = AllocationStats("test")
         moves = [(PhysReg(F, 0), PhysReg(F, 1), Temp(F, 0))]
-        instrs = sequentialize_moves(moves, SpillSlots(), stats)
+        instrs = sequentialize_moves(moves, _emitter(stats), stats)
         assert [i.op for i in instrs] == [Op.FMOV]
 
     @pytest.mark.parametrize("perm", list(itertools.permutations(range(4))))
@@ -120,7 +128,7 @@ class TestSequentializeMoves:
         stats = AllocationStats("test")
         moves = [(PhysReg(G, 0), PhysReg(G, 1), Temp(G, 0)),
                  (PhysReg(G, 1), PhysReg(G, 0), Temp(G, 1))]
-        sequentialize_moves(moves, SpillSlots(), stats)
+        sequentialize_moves(moves, _emitter(stats), stats)
         from repro.ir.instr import SpillPhase
         assert stats.spill_static[(SpillPhase.RESOLVE, "store")] == 1
         assert stats.spill_static[(SpillPhase.RESOLVE, "load")] == 1

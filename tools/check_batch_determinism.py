@@ -8,7 +8,10 @@ The default mode runs the four-allocator comparison over one or more
 benchmark analogs twice — once serially (``jobs=1``, one shared
 compilation session) and once through the process pool (``jobs=2``) —
 and diffs every cell: allocated module text (byte-for-byte), simulated
-output, dynamic instruction and cycle counts, and spill fraction.
+output, dynamic instruction and cycle counts, and spill fraction.  The
+first analog is additionally re-checked under seeded stress contexts
+(``STRESS_CONTEXTS``), so the pool path is exercised with a pickled
+non-default :class:`repro.spill.AllocationContext` too.
 
 ``--suite`` runs the declarative suite runner instead: the same cell
 specs are executed into two throwaway result stores, serially and with
@@ -37,8 +40,16 @@ import sys
 import tempfile
 
 from repro.pm.batch import compare_allocators
+from repro.spill import AllocationContext
 from repro.target import tiny
 from repro.workloads.programs import PROGRAM_NAMES, build_program
+
+#: Seeded stress contexts the analog mode re-checks: forced evictions and
+#: randomized selection order exercise the pool's context pickling and the
+#: emitters' per-function RNG re-derivation, which a default-context run
+#: never touches.
+STRESS_CONTEXTS = (AllocationContext(stress="shuffle", seed=7),
+                   AllocationContext(stress="forced-evict", seed=7))
 
 #: Fields that must agree between serial and parallel cells (everything
 #: except wall-clock ``alloc_seconds``).
@@ -51,14 +62,16 @@ TIMING_KEYS = {"profile", "core_seconds", "setup_seconds",
                "shared_setup_seconds"}
 
 
-def check_analog(name: str) -> list[str]:
+def check_analog(name: str,
+                 context: AllocationContext | None = None) -> list[str]:
     machine = tiny(8, 8)
     module = build_program(name, machine)
-    serial = compare_allocators(module, machine, jobs=1)
-    parallel = compare_allocators(module, machine, jobs=2)
+    serial = compare_allocators(module, machine, jobs=1, context=context)
+    parallel = compare_allocators(module, machine, jobs=2, context=context)
+    tag = name if context is None else f"{name}[{context.describe()}]"
     errors = []
     if len(serial) != len(parallel):
-        return [f"{name}: {len(serial)} serial cells vs "
+        return [f"{tag}: {len(serial)} serial cells vs "
                 f"{len(parallel)} parallel"]
     for s, p in zip(serial, parallel):
         for field in CHECKED_FIELDS:
@@ -66,7 +79,7 @@ def check_analog(name: str) -> list[str]:
             if sv != pv:
                 shown = (f"{sv!r} != {pv!r}" if field != "module_text"
                          else "allocated module text differs")
-                errors.append(f"{name}/{s.allocator}: {field}: {shown}")
+                errors.append(f"{tag}/{s.allocator}: {field}: {shown}")
     return errors
 
 
@@ -137,6 +150,12 @@ def main(argv: list[str]) -> int:
         failures.extend(errors)
         status = "ok" if not errors else f"{len(errors)} mismatch(es)"
         print(f"{name}: serial vs parallel: {status}")
+    for context in STRESS_CONTEXTS:
+        errors = check_analog(analogs[0], context)
+        failures.extend(errors)
+        status = "ok" if not errors else f"{len(errors)} mismatch(es)"
+        print(f"{analogs[0]}[{context.describe()}]: "
+              f"serial vs parallel: {status}")
     for line in failures:
         print(f"  {line}", file=sys.stderr)
     return 1 if failures else 0

@@ -11,25 +11,45 @@ Usage::
     PYTHONPATH=src python tools/shrink_ir.py failing.ir \
         --config sc-default --machine tiny --gpr 4 --fpr 4
 
-The config names are the fuzz grid's (see ``repro.fuzz.CONFIG_GRID``);
-the machine must match the one the failure was found on, since register
-counts change the allocation completely.
+The config names are the fuzz grids' (``repro.fuzz.CONFIG_GRID`` plus
+the stress grid ``repro.fuzz.STRESS_GRID``); the machine must match the
+one the failure was found on, since register counts change the
+allocation completely.  ``--remat`` / ``--stress`` / ``--stress-seed``
+replay a failure found under a non-default allocation context — and a
+witness written by ``repro fuzz --out`` carries its context in a
+``;; context=...`` header line, which is applied automatically when no
+explicit context flags are given.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
-from repro.fuzz import CONFIG_GRID, check_config, shrink_module
+from repro.fuzz import CONFIG_GRID, STRESS_GRID, check_config, shrink_module
 from repro.fuzz.shrink import reference_outcome
 from repro.ir.parser import parse_module
 from repro.ir.printer import print_module
+from repro.spill import STRESS_MODES, AllocationContext
 from repro.target import alpha, tiny
 
 
+def context_from_header(text: str) -> AllocationContext | None:
+    """The ``;; context=...`` line a ``repro fuzz --out`` witness carries
+    (``None`` when the file has none — a hand-written or default-context
+    witness)."""
+    for line in text.splitlines():
+        if not line.startswith(";;"):
+            break  # the header is a contiguous comment prefix
+        stripped = line[2:].strip()
+        if stripped.startswith("context="):
+            return AllocationContext.parse(stripped[len("context="):])
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
-    by_name = {c.name: c for c in CONFIG_GRID}
+    by_name = {c.name: c for c in CONFIG_GRID + STRESS_GRID}
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("file", help="IR module text file")
     ap.add_argument("--config", required=True, choices=sorted(by_name),
@@ -41,13 +61,34 @@ def main(argv: list[str] | None = None) -> int:
                     help="FPR file size for --machine tiny (default: 8)")
     ap.add_argument("--budget", type=int, default=400,
                     help="max candidate evaluations (default: 400)")
+    ap.add_argument("--kind", default=None,
+                    help="require this failure kind (crash/verify/dataflow/"
+                         "sim-fault/mismatch); default: whatever reproduces")
+    ap.add_argument("--remat", action="store_true",
+                    help="replay with rematerialization enabled")
+    ap.add_argument("--stress", default=None, choices=list(STRESS_MODES),
+                    help="replay under this seeded stress mode")
+    ap.add_argument("--stress-seed", type=int, default=None, metavar="N",
+                    help="stress-mode seed (default: 0)")
     ap.add_argument("--out", help="write the shrunken IR here (default: stdout)")
     args = ap.parse_args(argv)
 
     machine = alpha() if args.machine == "alpha" else tiny(args.gpr, args.fpr)
     config = by_name[args.config]
     with open(args.file) as fh:
-        module = parse_module(fh.read())
+        text = fh.read()
+    module = parse_module(text)
+
+    if args.remat or args.stress is not None or args.stress_seed is not None:
+        context = AllocationContext(remat=args.remat,
+                                    stress=args.stress or "none",
+                                    seed=args.stress_seed or 0)
+    else:
+        context = context_from_header(text)
+    if context is not None:
+        config = dataclasses.replace(config, context=context)
+        print(f"# allocation context: {context.describe() or 'default'}",
+              file=sys.stderr)
 
     ref = reference_outcome(module, machine)
     if ref is None:
@@ -62,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     kind, message = found
+    if args.kind is not None and kind != args.kind:
+        print(f"error: config {config.name} fails with kind {kind!r}, "
+              f"not the requested {args.kind!r}", file=sys.stderr)
+        return 2
     print(f"# reproducing failure: [{kind}] {message}", file=sys.stderr)
 
     def still_fails(candidate) -> bool:
