@@ -23,7 +23,11 @@ Subcommands:
 * ``report``            — render every table/figure of the evaluation
                           from the result store; ``--check`` diffs them
                           against the checked-in goldens, ``--diff A B``
-                          compares two suite runs (docs/REPORTING.md).
+                          compares two suite runs (docs/REPORTING.md);
+* ``serve``             — run the allocation service (JSONL over a
+                          socket + minimal HTTP) with its persistent
+                          cache; ``--soak`` runs the cold/warm load
+                          benchmark instead (docs/SERVING.md).
 
 Options shared by all subcommands: ``--machine alpha|tiny`` (default
 alpha), ``--allocator second-chance|two-pass|coloring|poletto`` (default
@@ -394,6 +398,69 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import AllocationServer, run_soak
+
+    if args.soak:
+        doc = run_soak(args.store, requests=args.requests,
+                       dup_ratio=args.dup_ratio, seed=args.seed,
+                       jobs=args.jobs,
+                       echo=lambda msg: print(msg, file=sys.stderr))
+        cold, warm = doc["before"]["serve"], doc["after"]["serve"]
+        speedup = doc["speedup"]["serve"]
+        print(f"cold: median {1e3 * cold['median_s']:.2f} ms, "
+              f"{100 * cold['hit_rate']:.1f}% hits")
+        print(f"warm: median {1e3 * warm['median_s']:.2f} ms, "
+              f"{100 * warm['hit_rate']:.1f}% hits")
+        print(f"speedup (cold/warm median): {speedup:.2f}x")
+        if args.bench_out:
+            with open(args.bench_out, "w") as fh:
+                json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote {args.bench_out}", file=sys.stderr)
+        if args.record:
+            # One kind="perf" record so `repro report --perf` folds the
+            # soak into the trajectory next to the perf-bench points.
+            from repro.results.store import (CellKey, ResultStore,
+                                             content_hash)
+
+            run = dict(doc["after"], serve_cold=cold,
+                       speedup=doc["speedup"])
+            run["mode"] = "serve-soak"
+            store = ResultStore(args.store)
+            key = CellKey(workload="serve:soak", allocator="suite",
+                          machine="host", kind="perf", reps=args.requests)
+            run_id = store.begin_run(label="serve-soak")
+            store.put(key, content_hash("serve-soak", str(args.requests),
+                                        str(args.dup_ratio), str(args.seed)),
+                      run)
+            store.finish_run({"computed": 1, "label": "serve-soak"})
+            print(f"recorded soak run {run_id} in store {store.root}",
+                  file=sys.stderr)
+        return 0
+    import threading
+
+    server = AllocationServer(args.store, host=args.host, port=args.port,
+                              jobs=args.jobs)
+
+    def announce():
+        # The port is only known once the loop binds the socket.
+        server.wait_ready()
+        print(f"serving on {args.host}:{server.port} "
+              f"(store: {server.cache.store.root}, jobs: {args.jobs}, "
+              f"{len(server.cache)} cached artifact(s))", file=sys.stderr)
+
+    threading.Thread(target=announce, daemon=True).start()
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    print(server.metrics.render(title="serve metrics"), file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -553,6 +620,38 @@ def build_parser() -> argparse.ArgumentParser:
                                "(BENCH_*.json + stored perf records)")
     store_option(report_p)
     report_p.set_defaults(func=cmd_report)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the allocation service (or --soak: the "
+                      "cold/warm cache benchmark)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0, metavar="N",
+                         help="bind port (default: 0 = ephemeral, "
+                              "printed on startup)")
+    serve_p.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for cache misses "
+                              "(default: 1; 0 = in-process threads)")
+    serve_p.add_argument("--soak", action="store_true",
+                         help="run the soak benchmark: a cold pass and a "
+                              "warm pass of generated load through a "
+                              "fresh in-process server")
+    serve_p.add_argument("--requests", type=int, default=200, metavar="N",
+                         help="with --soak: requests per pass "
+                              "(default: 200)")
+    serve_p.add_argument("--dup-ratio", type=float, default=0.5, metavar="R",
+                         help="with --soak: fraction of duplicate requests "
+                              "in the stream (default: 0.5)")
+    serve_p.add_argument("--seed", type=int, default=0, metavar="N",
+                         help="with --soak: corpus seed (default: 0)")
+    serve_p.add_argument("--bench-out", metavar="FILE", default=None,
+                         help="with --soak: write the BENCH-style "
+                              "document to FILE")
+    serve_p.add_argument("--record", action="store_true",
+                         help="with --soak: also record the run in the "
+                              "result store for `report --perf`")
+    store_option(serve_p)
+    serve_p.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -32,6 +32,7 @@ from typing import Any, Callable, Sequence
 from repro.allocators import ALLOCATOR_FACTORIES, make_allocator
 from repro.ir.module import Module
 from repro.ir.printer import print_module
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.pm.session import CompilationSession
 from repro.sim import simulate
@@ -99,6 +100,93 @@ def _compare_worker(payload) -> CompareCell:
     module, machine, name, spill_cleanup, context = payload
     return _cell(CompilationSession(module, machine), name, spill_cleanup,
                  context=context)
+
+
+def allocation_artifact(payload: dict) -> dict:
+    """Process-pool worker: one allocation-service request → one plain
+    artifact dict (the unit the serving cache persists).
+
+    ``payload`` is JSON-shaped data — exactly what crossed the wire —
+    with ``ir`` (printed IR text) *or* ``minic`` (source), plus
+    ``machine`` (spec string), ``allocator``, ``context`` (canonical
+    :meth:`~repro.spill.AllocationContext.describe` form), and
+    ``spill_cleanup``.  The result carries the allocated module text,
+    Figure-3 spill categories, dynamic counts, the metrics snapshot and
+    the phase profile — everything :mod:`repro.serve` streams back.
+
+    Failures are *returned*, not raised (``{"error": {"code",
+    "message"}}``), so a bad request cannot poison the worker process
+    or cancel a batch; the pool stays healthy for the next request.
+    Pure: no store access, no global state — safe under any pool start
+    method, and byte-deterministic for identical payloads.
+    """
+    from repro.ir.parser import parse_module
+    from repro.lang import compile_minic
+    from repro.obs.profile import PhaseProfiler
+    from repro.results.suite import (_phase_summary, machine_from_spec)
+    from repro.sim.machine import outputs_equal
+    from repro.spill import AllocationContext
+    from repro.stats.spill import (FIGURE3_CATEGORIES, REMAT_CATEGORIES,
+                                   spill_breakdown)
+
+    def failure(code: str, exc: BaseException) -> dict:
+        return {"error": {"code": code,
+                          "message": f"{type(exc).__name__}: {exc}"}}
+
+    try:
+        machine = machine_from_spec(payload.get("machine", "alpha"))
+        context = AllocationContext.parse(payload.get("context", ""))
+        allocator = make_allocator(payload.get("allocator", "second-chance"))
+    except Exception as exc:
+        return failure("bad-request", exc)
+    try:
+        if payload.get("ir"):
+            module = parse_module(payload["ir"])
+        else:
+            module = compile_minic(payload.get("minic", ""), machine)
+    except Exception as exc:
+        return failure("parse-error", exc)
+    try:
+        runnable = "main" in module.functions
+        reference = simulate(module, machine) if runnable else None
+        session = CompilationSession(module, machine)
+        metrics = MetricsRegistry()
+        profiler = PhaseProfiler()
+        result = session.run(allocator,
+                             spill_cleanup=bool(payload.get("spill_cleanup")),
+                             profiler=profiler, metrics=metrics,
+                             context=context)
+        artifact = {
+            "code": print_module(result.module),
+            "allocator": payload.get("allocator", "second-chance"),
+            "machine": payload.get("machine", "alpha"),
+            "context": context.describe(),
+            "spill_cleanup": bool(payload.get("spill_cleanup")),
+            "alloc_seconds": round(result.stats.alloc_seconds, 6),
+            "dce_removed": result.dce_removed,
+            "moves_removed": result.moves_removed,
+            "metrics": metrics.snapshot(),
+            "profile": _phase_summary(profiler),
+        }
+        if runnable:
+            outcome = simulate(result.module, machine)
+            if not outputs_equal(outcome.output, reference.output):
+                raise RuntimeError("allocation changed observable behaviour "
+                                   "(differential oracle mismatch)")
+            breakdown = spill_breakdown(outcome)
+            artifact.update({
+                "dynamic_instructions": outcome.dynamic_instructions,
+                "cycles": outcome.cycles,
+                "result": outcome.result,
+                "spill_categories": {
+                    f"{phase.value}.{kind.value}":
+                        breakdown.category(phase, kind)
+                    for phase, kind in FIGURE3_CATEGORIES + REMAT_CATEGORIES},
+                "total_spill": breakdown.total_spill,
+            })
+        return artifact
+    except Exception as exc:
+        return failure("alloc-error", exc)
 
 
 def compare_allocators(module: Module, machine: MachineDescription, *,

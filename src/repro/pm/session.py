@@ -101,15 +101,26 @@ class CompilationSession:
         if not dce:
             prepared = (self.module, 0)
         else:
-            instr_map: dict = {}
-            working = self.module.clone(instr_map)
-            for name, fn in working.functions.items():
-                self.analyses.link_clone(self.module.functions[name], fn,
-                                         instr_map)
+            working = self.clone_base()
             removed = sum(self.passes.run(DCE_PASS, working))
             prepared = (working, removed)
         self._prepared[dce] = prepared
         return prepared
+
+    def clone_base(self, base: Module | None = None) -> Module:
+        """A structural clone of ``base`` (default: the pristine module)
+        with every cloned function linked into the analysis cache, so
+        analyses computed on the base transfer instead of recomputing.
+        The one clone-and-link dance every run-shaped caller needs —
+        :meth:`run`, :meth:`prepared`, and the suite's timing protocol
+        all go through here."""
+        if base is None:
+            base = self.module
+        instr_map: dict = {}
+        working = base.clone(instr_map)
+        for name, fn in working.functions.items():
+            self.analyses.link_clone(base.functions[name], fn, instr_map)
+        return working
 
     # ------------------------------------------------------------------
     # Allocator access to the cache.
@@ -153,10 +164,7 @@ class CompilationSession:
             # every run's profile so per-run timings remain comparable —
             # on a cache hit it simply measures (almost) nothing.
             base, dce_removed = self.prepared(dce)
-        instr_map: dict = {}
-        working = base.clone(instr_map)
-        for name, fn in working.functions.items():
-            self.analyses.link_clone(base.functions[name], fn, instr_map)
+        working = self.clone_base(base)
         snapshots = snapshot_module(working) if verify_dataflow else None
         stats = allocate_module(working, allocator.fresh(), self.machine,
                                 trace=trace, profiler=prof, metrics=metrics,

@@ -17,7 +17,8 @@ renders from it.
 
 from repro.results.report import (MissingCells, check_against_goldens,
                                   diff_runs, render_all,
-                                  render_perf_trajectory, render_runs)
+                                  render_perf_trajectory, render_runs,
+                                  render_serve_soaks)
 from repro.results.store import (CellKey, Record, ResultStore, content_hash,
                                  store_path)
 from repro.results.suite import (SUITES, SuiteError, SuiteOutcome,
@@ -37,6 +38,7 @@ __all__ = [
     "render_all",
     "render_perf_trajectory",
     "render_runs",
+    "render_serve_soaks",
     "run_suite",
     "standard_suite",
     "store_path",

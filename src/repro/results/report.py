@@ -443,6 +443,9 @@ def render_perf_trajectory(store: ResultStore | None = None,
     detail = render_interference_trajectory(repo_root=repo_root)
     if detail:
         out += "\n\n" + detail
+    soaks = render_serve_soaks(store, repo_root=repo_root)
+    if soaks:
+        out += "\n\n" + soaks
     return out
 
 
@@ -458,6 +461,10 @@ def render_interference_trajectory(repo_root: str | Path = ".") -> str:
     rows: list[list[str]] = []
     for label, doc in _bench_documents(Path(repo_root)):
         phases = {p: doc[p] for p in ("before", "after") if doc.get(p)}
+        if not any(name.startswith("interference.")
+                   for run in phases.values()
+                   for name in run.get("benchmarks", {})):
+            continue  # e.g. a serve-soak point: nothing to show here
         for run in phases.values():
             for name in run.get("benchmarks", {}):
                 if name.startswith("interference.") and name not in names:
@@ -487,6 +494,44 @@ def render_interference_trajectory(repo_root: str | Path = ".") -> str:
     return format_table(
         headers, rows,
         title="Interference-build trajectory (per-cell medians)")
+
+
+def render_serve_soaks(store: ResultStore | None = None,
+                       repo_root: str | Path = ".") -> str:
+    """The allocation service's soak points: cache hit/miss counters and
+    latency percentiles per load pass, from every ``BENCH_*.json`` the
+    soak driver wrote plus any ``kind="perf"`` store records carrying a
+    ``serve`` payload (``repro serve --soak --record``)."""
+    rows: list[list[str]] = []
+
+    def add(label: str, pass_: dict) -> None:
+        rows.append([
+            label, pass_.get("label", "?"), pass_.get("requests", 0),
+            pass_.get("hits", 0), pass_.get("misses", 0),
+            pass_.get("errors", 0),
+            f"{100 * pass_.get('hit_rate', 0.0):.1f}%",
+            f"{1e3 * pass_.get('median_s', 0.0):.2f}",
+            f"{1e3 * pass_.get('p90_s', 0.0):.2f}",
+            f"{pass_.get('throughput_rps', 0.0):.1f}"])
+
+    for name, doc in _bench_documents(Path(repo_root)):
+        for phase in ("before", "after"):
+            run = doc.get(phase) or {}
+            if isinstance(run.get("serve"), dict):
+                add(name, run["serve"])
+    if store is not None:
+        for record in store.iter_latest():
+            if record.key.kind != "perf":
+                continue
+            for past in store.history(record.key):
+                if isinstance(past.data.get("serve"), dict):
+                    add(f"store:{past.run}", past.data["serve"])
+    if not rows:
+        return ""
+    return format_table(
+        ["trajectory", "pass", "requests", "hits", "misses", "errors",
+         "hit rate", "median (ms)", "p90 (ms)", "req/s"],
+        rows, title="Serve soak trajectory (cache effectiveness per pass)")
 
 
 # ----------------------------------------------------------------------
@@ -573,6 +618,7 @@ __all__ = ["FIGURE3_KEYS", "MissingCells", "REPORT_FILES", "TIMING_FILES",
            "diff_runs", "figure3_rows", "render_ablations", "render_all",
            "render_block_order", "render_figure3",
            "render_interference_trajectory", "render_perf_trajectory",
-           "render_remat", "render_runs", "render_section31", "render_table1",
+           "render_remat", "render_runs", "render_section31",
+           "render_serve_soaks", "render_table1",
            "render_table2", "render_table3", "remat_rows", "section31_rows",
            "table1_rows", "table2_rows", "table3_rows"]

@@ -25,9 +25,29 @@ are byte-stable)::
     <root>/runs.jsonl                 one manifest per suite invocation
     <root>/index.json                 ident -> newest record seq (a cache;
                                       rebuilt from the segments on open)
+    <root>/.lock                      advisory flock for cross-process runs
+
+Durability contract (what a ``kill -9`` can and cannot lose):
+
+* **Commit point = ``finish_run``** — the segment and ``runs.jsonl``
+  are flushed *and* ``fsync``'d there, and ``index.json`` is replaced
+  atomically (tempfile + ``os.replace``), so a crash never leaves a
+  half-written index and a finished run is never lost.
+* A crash *mid-append* can leave a torn final JSONL line; loading
+  skips it with a warning (``results.load.torn_lines``) instead of
+  raising, and appends re-align on a fresh line.  ``index.json`` is
+  only ever a convenience snapshot — a corrupt one is rebuilt from the
+  segments on the next open, never trusted.
+* Concurrent writers (a server and a CLI sharing one cache directory)
+  are serialized by an advisory ``fcntl.flock`` held from
+  :meth:`begin_run` to :meth:`finish_run`; ``begin_run`` re-reads the
+  store under the lock, so run ids and record seqs stay unique across
+  processes.
 
 Store behaviour is metered through :mod:`repro.obs.metrics` as
-``results.cells.computed`` / ``.hits`` / ``.invalidated``.
+``results.cells.computed`` / ``.hits`` / ``.invalidated`` (plus
+``results.load.torn_lines`` / ``results.index.rebuilt`` for the
+crash-recovery paths).
 
 See ``docs/REPORTING.md`` for the record schema and a cookbook.
 """
@@ -37,9 +57,16 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
+
+try:                                    # POSIX only; the store degrades to
+    import fcntl                        # lockless on other platforms.
+except ImportError:                     # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -64,6 +91,114 @@ def store_path(root: str | os.PathLike | None = None) -> Path:
     if env:
         return Path(env)
     return DEFAULT_STORE
+
+
+def _fsync(handle) -> None:
+    """Flush ``handle`` down to the disk (a commit-point barrier)."""
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: Path) -> None:
+    """Fsync a directory so a just-renamed/created entry survives a
+    crash (no-op where directories cannot be opened, e.g. Windows)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_jsonl(path: Path, *, metrics: MetricsRegistry | None = None,
+               ) -> Iterator[dict]:
+    """Yield the JSON documents of one JSONL file, tolerating a torn
+    tail.
+
+    A process killed mid-append (crash, ``kill -9``, full disk) leaves a
+    partial final line; that line was never committed, so it is skipped
+    with a :class:`UserWarning` (and metered as
+    ``results.load.torn_lines``) instead of poisoning every later load
+    with ``json.JSONDecodeError``.  Garbage on *interior* lines gets the
+    same treatment — recovery over refusal — but is equally warned
+    about, so silent corruption never goes unnoticed.
+    """
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                doc = json.loads(stripped)
+            except json.JSONDecodeError:
+                warnings.warn(
+                    f"{path}:{lineno}: skipping torn/garbage JSONL line "
+                    f"({len(line)} bytes)", stacklevel=2)
+                if metrics is not None:
+                    metrics.bump("results.load.torn_lines")
+                continue
+            if not isinstance(doc, dict):
+                warnings.warn(f"{path}:{lineno}: skipping non-object "
+                              f"JSONL line", stacklevel=2)
+                if metrics is not None:
+                    metrics.bump("results.load.torn_lines")
+                continue
+            yield doc
+
+
+def atomic_write_json(path: Path, doc: Any) -> None:
+    """Write ``doc`` as JSON to ``path`` atomically: tempfile in the
+    same directory, fsync, then ``os.replace``.  Readers see either the
+    old complete file or the new complete file, never a torn one."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(prefix=path.name + ".",
+                                    suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            _fsync(fh)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+
+
+class StoreLock:
+    """A re-entrant advisory lock over one store root.
+
+    ``flock`` serializes *processes*; the depth counter makes nested
+    acquisitions within one store object free (``finish_run`` writes the
+    index while still holding the run's lock).  On platforms without
+    ``fcntl`` the lock degrades to a no-op — single-process use stays
+    correct, and every documented multi-writer workflow runs on POSIX.
+    """
+
+    def __init__(self, root: Path):
+        self._path = Path(root) / ".lock"
+        self._handle = None
+        self._depth = 0
+
+    def __enter__(self) -> "StoreLock":
+        if self._depth == 0 and fcntl is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self._path, "a+")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        self._depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._depth -= 1
+        if self._depth == 0 and self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
 
 
 def content_hash(*parts: str) -> str:
@@ -182,7 +317,9 @@ class ResultStore:
         self._runs: list[dict] = []                 # manifests, oldest first
         self._next_seq = 1
         self._open_segment = None                   # (run_id, file handle)
+        self._lock = StoreLock(self.root)
         self._load()
+        self._heal_index()
 
     # ------------------------------------------------------------------
     # Loading.
@@ -192,25 +329,56 @@ class ResultStore:
         return self.root / "segments"
 
     def _load(self) -> None:
-        if not self.segments_dir.is_dir():
-            return
-        for segment in sorted(self.segments_dir.glob("seg-*.jsonl")):
-            with open(segment) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    record = Record.from_json(json.loads(line))
+        """(Re)build the in-memory state from the segment files.
+
+        Fresh dicts are built first and swapped in at the end, so a
+        concurrent reader on another thread never observes a
+        half-loaded store.  ``index.json`` is deliberately never read —
+        the segments are the single source of truth, so a corrupt or
+        stale index can only ever cost a rebuild, never correctness.
+        """
+        records: dict[int, Record] = {}
+        latest: dict[str, int] = {}
+        runs: list[dict] = []
+        next_seq = 1
+        if self.segments_dir.is_dir():
+            for segment in sorted(self.segments_dir.glob("seg-*.jsonl")):
+                for doc in read_jsonl(segment, metrics=self.metrics):
+                    record = Record.from_json(doc)
                     if record.schema != SCHEMA_VERSION:
                         continue
-                    self._records[record.seq] = record
-                    self._latest[record.ident] = record.seq
-                    self._next_seq = max(self._next_seq, record.seq + 1)
+                    records[record.seq] = record
+                    if latest.get(record.ident, 0) <= record.seq:
+                        latest[record.ident] = record.seq
+                    next_seq = max(next_seq, record.seq + 1)
         runs_file = self.root / "runs.jsonl"
         if runs_file.is_file():
-            with open(runs_file) as fh:
-                self._runs = [json.loads(line) for line in fh
-                              if line.strip()]
+            runs = list(read_jsonl(runs_file, metrics=self.metrics))
+        self._records, self._latest = records, latest
+        self._runs, self._next_seq = runs, next_seq
+
+    def _heal_index(self) -> None:
+        """Rebuild ``index.json`` from the segments when it is missing
+        segments' data, truncated, or outright garbage (a crash mid-write
+        predating atomic replacement, a manual edit...).  Runs once per
+        open; correctness never depends on it, but external tools read
+        the file, so a poisoned snapshot should not outlive one open."""
+        index_file = self.root / "index.json"
+        if not index_file.is_file():
+            return
+        try:
+            with open(index_file) as fh:
+                doc = json.load(fh)
+            stale = (not isinstance(doc, dict)
+                     or len(doc.get("cells", ())) != len(self._latest))
+        except (json.JSONDecodeError, OSError):
+            stale = True
+        if stale:
+            warnings.warn(f"{index_file}: corrupt or stale index snapshot; "
+                          f"rebuilding from segments", stacklevel=2)
+            self.metrics.bump("results.index.rebuilt")
+            with self._lock:
+                self._write_index()
 
     # ------------------------------------------------------------------
     # Reading.
@@ -271,15 +439,38 @@ class ResultStore:
     # Writing (append-only).
     # ------------------------------------------------------------------
     def next_run_id(self) -> str:
-        return f"r{len(self._runs) + 1:04d}"
+        """The first run id not yet claimed by a manifest *or* a segment
+        file (a crashed run may have left a segment with no manifest)."""
+        taken = {doc["run"] for doc in self._runs}
+        if self.segments_dir.is_dir():
+            taken |= {p.stem[len("seg-"):]
+                      for p in self.segments_dir.glob("seg-*.jsonl")}
+        n = len(self._runs) + 1
+        while f"r{n:04d}" in taken:
+            n += 1
+        return f"r{n:04d}"
 
     def begin_run(self, label: str = "") -> str:
-        """Open a new segment for one suite invocation's records."""
+        """Open a new segment for one suite invocation's records.
+
+        Takes the store's exclusive advisory lock (held until
+        :meth:`finish_run` / :meth:`abort_run`), then re-reads the
+        segments, so records committed by other processes since our
+        open become visible and the new run's id and seq numbers are
+        globally unique.  Concurrent writers therefore serialize per
+        run, never interleave within a segment.
+        """
         if self._open_segment is not None:
             raise RuntimeError("a run is already open on this store")
-        run_id = self.next_run_id()
-        self.segments_dir.mkdir(parents=True, exist_ok=True)
-        handle = open(self.segments_dir / f"seg-{run_id}.jsonl", "a")
+        self._lock.__enter__()
+        try:
+            self._load()
+            run_id = self.next_run_id()
+            self.segments_dir.mkdir(parents=True, exist_ok=True)
+            handle = open(self.segments_dir / f"seg-{run_id}.jsonl", "a")
+        except BaseException:
+            self._lock.__exit__(None, None, None)
+            raise
         self._open_segment = (run_id, handle, label, {})
         return run_id
 
@@ -307,35 +498,76 @@ class ResultStore:
         self._open_segment[3][key.ident()] = record.seq
 
     def finish_run(self, stats: dict | None = None) -> dict:
-        """Close the open segment and append the run manifest."""
+        """Close the open segment and append the run manifest.
+
+        This is the store's *commit point*: the segment is fsync'd
+        before closing, the manifest append is fsync'd, and the index
+        snapshot is replaced atomically — after ``finish_run`` returns,
+        no crash (including ``kill -9``) can lose this run's records.
+        """
         if self._open_segment is None:
             raise RuntimeError("no open run to finish")
         run_id, handle, label, cells = self._open_segment
-        handle.close()
-        self._open_segment = None
-        manifest = {"run": run_id, "label": label,
-                    "cells": dict(sorted(cells.items())),
-                    "stats": stats or {}}
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.root / "runs.jsonl", "a") as fh:
-            fh.write(json.dumps(manifest, sort_keys=True) + "\n")
-        self._runs.append(manifest)
-        self._write_index()
+        try:
+            _fsync(handle)
+            handle.close()
+            self._open_segment = None
+            manifest = {"run": run_id, "label": label,
+                        "cells": dict(sorted(cells.items())),
+                        "stats": stats or {}}
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._append_aligned(self.root / "runs.jsonl",
+                                 json.dumps(manifest, sort_keys=True))
+            self._runs.append(manifest)
+            self._write_index()
+            _fsync_dir(self.segments_dir)
+        finally:
+            self._lock.__exit__(None, None, None)
         return manifest
+
+    def abort_run(self) -> None:
+        """Close the open segment *without* writing a manifest (error
+        paths).  Records already appended stay on disk — they were real
+        measurements — but the run never becomes a committed manifest,
+        and the store lock is released either way."""
+        if self._open_segment is None:
+            return
+        _run_id, handle, _label, _cells = self._open_segment
+        self._open_segment = None
+        try:
+            handle.close()
+        finally:
+            self._lock.__exit__(None, None, None)
+
+    @staticmethod
+    def _append_aligned(path: Path, line: str) -> None:
+        """Append ``line`` to a JSONL file, fsync'd, re-aligning first
+        if a crashed writer left the file without a trailing newline
+        (otherwise the new record would fuse onto the torn tail and
+        both lines would be lost to every later load)."""
+        with open(path, "a+") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > 0:
+                fh.seek(fh.tell() - 1)
+                if fh.read(1) != "\n":
+                    fh.write("\n")
+            fh.write(line + "\n")
+            _fsync(fh)
 
     def _write_index(self) -> None:
         """Snapshot the ident -> seq map (with code hashes) for humans
-        and external tools; :meth:`_load` never trusts it."""
+        and external tools; :meth:`_load` never trusts it.  Written via
+        tempfile + ``os.replace`` so a crash mid-write can never leave
+        a torn ``index.json`` behind."""
         index = {ident: {"seq": seq,
                          "code_hash": self._records[seq].code_hash,
                          "run": self._records[seq].run}
                  for ident, seq in sorted(self._latest.items())}
         doc = {"schema": SCHEMA_VERSION, "records": len(self._records),
                "runs": len(self._runs), "cells": index}
-        with open(self.root / "index.json", "w") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        atomic_write_json(self.root / "index.json", doc)
 
 
 __all__ = ["CellKey", "Record", "ResultStore", "SCHEMA_VERSION",
-           "STORE_ENV", "DEFAULT_STORE", "content_hash", "store_path"]
+           "STORE_ENV", "DEFAULT_STORE", "StoreLock", "atomic_write_json",
+           "content_hash", "read_jsonl", "store_path"]

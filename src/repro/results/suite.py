@@ -264,11 +264,7 @@ def _execute_timing(key: CellKey, module, machine) -> dict:
             session.shared(fn, profiler=cold)
     samples, setup_samples = [], []
     for _ in range(max(1, key.reps)):
-        instr_map: dict = {}
-        working = session.module.clone(instr_map)
-        for name, fn in working.functions.items():
-            session.analyses.link_clone(session.module.functions[name], fn,
-                                        instr_map)
+        working = session.clone_base()
         profiler = PhaseProfiler()
         stats = allocate_module(working, _allocator_for(key), machine,
                                 profiler=profiler, session=session)

@@ -1,0 +1,315 @@
+"""The allocation service: protocol, cache, server round-trips.
+
+The server fixture runs in-process (``jobs=0`` — thread executor, no
+process pool spin-up) on a per-test store, so these stay tier-1 fast;
+one marked test exercises the real process pool.  Cache-key stability
+is checked *across interpreter processes with different hash seeds*,
+because that is exactly what lets the cache persist.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (AllocationCache, AllocationServer, MAX_MODULE_BYTES,
+                         ProtocolError, ServeClient, ServeError,
+                         artifact_cache_key, build_corpus, decode_request,
+                         run_load)
+from repro.serve.protocol import MAX_LINE_BYTES, encode, error_response
+
+MINIC = "func int main() { int a = 6; print a * 7; return a; }"
+
+IR_REQUEST = {"op": "allocate", "minic": MINIC, "machine": "tiny:4x4",
+              "allocator": "second-chance", "context": "",
+              "spill_cleanup": False}
+
+
+# ----------------------------------------------------------------------
+# Protocol round-trips (no server needed).
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_valid_allocate_normalizes_defaults(self):
+        doc = decode_request(encode({"op": "allocate", "minic": MINIC}))
+        assert doc["op"] == "allocate"
+        assert doc["machine"] == "alpha"
+        assert doc["allocator"] == "second-chance"
+        assert doc["spill_cleanup"] is False
+
+    def test_op_defaults_to_allocate(self):
+        doc = decode_request(json.dumps({"minic": MINIC}))
+        assert doc["op"] == "allocate"
+
+    @pytest.mark.parametrize("line,code", [
+        (b"\xff\xfe not utf8 {", "bad-json"),
+        (b"not json at all\n", "bad-json"),
+        (b"[1, 2, 3]\n", "bad-json"),
+        (json.dumps({"op": "frobnicate"}), "bad-request"),
+        (json.dumps({"op": "allocate"}), "bad-request"),           # no module
+        (json.dumps({"op": "allocate", "ir": "x", "minic": "y"}),
+         "bad-request"),                                           # both
+        (json.dumps({"op": "allocate", "minic": MINIC,
+                     "machine": "vax"}), "bad-request"),
+        (json.dumps({"op": "allocate", "minic": MINIC,
+                     "allocator": "magic"}), "bad-request"),
+        (json.dumps({"op": "allocate", "minic": MINIC,
+                     "context": "stress=banana"}), "bad-request"),
+    ])
+    def test_malformed_requests_carry_structured_codes(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            decode_request(line)
+        assert err.value.code == code
+
+    def test_oversized_module_is_bounded(self):
+        big = "x" * (MAX_MODULE_BYTES + 1)
+        with pytest.raises(ProtocolError) as err:
+            decode_request(json.dumps({"op": "allocate", "ir": big}))
+        assert err.value.code == "too-large"
+
+    def test_error_response_shape(self):
+        doc = error_response("r1", "bad-json", "nope")
+        assert doc == {"id": "r1", "ok": False,
+                       "error": {"code": "bad-json", "message": "nope"}}
+
+
+# ----------------------------------------------------------------------
+# Cache keys: stable across processes and hash seeds.
+# ----------------------------------------------------------------------
+_KEY_PROBE = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.serve import artifact_cache_key
+request = {{"op": "allocate", "id": None, "ir": "", "minic": {minic!r},
+            "machine": "tiny:4x4", "allocator": "second-chance",
+            "context": "remat", "spill_cleanup": True}}
+key, sha = artifact_cache_key(request)
+print(key.ident())
+print(sha)
+"""
+
+
+class TestCacheKey:
+    def test_key_independent_of_hash_seed_and_process(self):
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        script = _KEY_PROBE.format(src=src, minic=MINIC)
+        outputs = set()
+        for seed in ("0", "424242", "1337"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin"})
+            assert proc.returncode == 0, proc.stderr
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1
+
+    def test_key_distinguishes_every_input(self):
+        base = dict(IR_REQUEST)
+        _, sha = artifact_cache_key(base)
+        for twist in ({"minic": MINIC + " "},
+                      {"allocator": "coloring"},
+                      {"machine": "tiny:8x8"},
+                      {"context": "remat"},
+                      {"spill_cleanup": True}):
+            _, other = artifact_cache_key(dict(base, **twist))
+            assert other != sha, twist
+
+    def test_machine_signature_is_semantic(self):
+        # The signature hashes register-file sizes, not spec spelling,
+        # so the key function must parse the spec, not echo it.
+        _, a = artifact_cache_key(dict(IR_REQUEST, machine="tiny:4x4"))
+        _, b = artifact_cache_key(dict(IR_REQUEST, machine="tiny:04x04"))
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# Server round-trips.
+# ----------------------------------------------------------------------
+@pytest.fixture
+def server(tmp_path):
+    srv = AllocationServer(str(tmp_path / "store"), jobs=0)
+    thread = threading.Thread(target=srv.run, daemon=True)
+    thread.start()
+    srv.wait_ready()
+    yield srv
+    srv.request_shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestServer:
+    def test_miss_then_hit_with_artifact_fields(self, client):
+        first = client.request(dict(IR_REQUEST))
+        assert first["cached"] is False
+        assert "ld [" in first["code"] or "alloc" not in first  # spills ok
+        assert first["allocator"] == "second-chance"
+        assert first["result"] == 6
+        assert first["dynamic_instructions"] > 0
+        assert first["total_spill"] >= 0
+        assert any(k.startswith("spill.") or "." in k
+                   for k in first["spill_categories"])
+        second = client.request(dict(IR_REQUEST))
+        assert second["cached"] is True
+        # The artifact payload is identical either way.
+        for field in ("code", "result", "dynamic_instructions",
+                      "spill_categories"):
+            assert first[field] == second[field]
+
+    def test_ir_and_minic_both_accepted(self, client):
+        from repro.ir.printer import print_module
+        from repro.lang import compile_minic
+        from repro.target import tiny
+
+        ir = print_module(compile_minic(MINIC, tiny(4, 4)))
+        via_ir = client.allocate(ir=ir, machine="tiny:4x4")
+        via_minic = client.allocate(minic=MINIC, machine="tiny:4x4")
+        assert via_ir["result"] == via_minic["result"] == 6
+
+    def test_malformed_request_keeps_connection_usable(self, client):
+        with pytest.raises(ServeError) as err:
+            client.request({"op": "allocate"})
+        assert err.value.code == "bad-request"
+        bad = client.send_raw(b"this is not json\n")
+        assert bad["ok"] is False
+        assert bad["error"]["code"] == "bad-json"
+        assert client.ping()["ok"] is True          # same connection
+
+    def test_parse_error_is_structured(self, client):
+        with pytest.raises(ServeError) as err:
+            client.allocate(ir="definitely not ir {{{")
+        assert err.value.code == "parse-error"
+        assert client.ping()["ok"] is True
+
+    def test_oversized_line_bounded_rejection(self, server):
+        # A line over the stream limit cannot be framed: the server
+        # answers too-large and closes; the *server* stays up.
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=30) as sock:
+            reader = sock.makefile("rb")
+            sock.sendall(b"{\"op\": \"allocate\", \"ir\": \""
+                         + b"x" * (MAX_LINE_BYTES + 1024) + b"\"}\n")
+            response = json.loads(reader.readline())
+            assert response["error"]["code"] == "too-large"
+            assert reader.readline() == b""         # connection closed
+        with ServeClient("127.0.0.1", server.port) as fresh:
+            assert fresh.ping()["ok"] is True
+
+    def test_disconnect_mid_request_leaves_server_healthy(self, server):
+        # Fire an allocate and vanish without reading the response.
+        with socket.create_connection(("127.0.0.1", server.port)) as sock:
+            sock.sendall(encode(dict(IR_REQUEST)))
+        with ServeClient("127.0.0.1", server.port) as c:
+            done = c.request(dict(IR_REQUEST))
+            assert done["ok"] is True
+
+    def test_stats_and_metrics(self, client):
+        client.request(dict(IR_REQUEST))
+        client.request(dict(IR_REQUEST))
+        stats = client.stats()
+        assert stats["cache_cells"] == 1
+        assert stats["metrics"]["serve.cache.misses"] == 1
+        assert stats["metrics"]["serve.cache.hits"] == 1
+        assert stats["latency"]["count"] == 2
+
+    def test_http_facade(self, server):
+        base = f"http://127.0.0.1:{server.port}"
+        health = json.load(urllib.request.urlopen(base + "/healthz"))
+        assert health["ok"] is True
+        post = urllib.request.Request(
+            base + "/allocate", data=json.dumps(IR_REQUEST).encode(),
+            headers={"Content-Type": "application/json"})
+        first = json.load(urllib.request.urlopen(post))
+        assert first["ok"] is True and first["cached"] is False
+        second = json.load(urllib.request.urlopen(post))
+        assert second["cached"] is True
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(urllib.request.Request(
+                base + "/allocate", data=b'{"op": "allocate"}'))
+        assert err.value.code == 400
+        assert json.load(err.value)["error"]["code"] == "bad-request"
+        stats = json.load(urllib.request.urlopen(base + "/stats"))
+        assert stats["cache_cells"] == 1
+
+    def test_cache_persists_across_server_restart(self, tmp_path):
+        store = str(tmp_path / "store")
+
+        def one_request(expect_cached: bool) -> None:
+            srv = AllocationServer(store, jobs=0)
+            thread = threading.Thread(target=srv.run, daemon=True)
+            thread.start()
+            srv.wait_ready()
+            try:
+                with ServeClient("127.0.0.1", srv.port) as c:
+                    response = c.request(dict(IR_REQUEST))
+                    assert response["cached"] is expect_cached
+            finally:
+                srv.request_shutdown()
+                thread.join(timeout=30)
+
+        one_request(expect_cached=False)
+        one_request(expect_cached=True)      # a different server process
+        cache = AllocationCache(store)
+        assert len(cache) == 1
+
+    def test_shutdown_op_stops_server(self, tmp_path):
+        srv = AllocationServer(str(tmp_path / "store"), jobs=0)
+        thread = threading.Thread(target=srv.run, daemon=True)
+        thread.start()
+        srv.wait_ready()
+        with ServeClient("127.0.0.1", srv.port) as c:
+            assert c.shutdown()["ok"] is True
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Load generation.
+# ----------------------------------------------------------------------
+class TestLoad:
+    def test_corpus_is_deterministic_and_dup_controlled(self):
+        a = build_corpus(20, dup_ratio=0.5, seed=3)
+        b = build_corpus(20, dup_ratio=0.5, seed=3)
+        assert a == b
+        assert len(a) == 20
+        assert len({doc["ir"] for doc in a}) == 10
+        assert build_corpus(20, dup_ratio=0.5, seed=4) != a
+
+    def test_load_pass_hits_track_duplicates(self, server):
+        corpus = build_corpus(12, dup_ratio=0.5, seed=5)
+        cold = run_load("127.0.0.1", server.port, corpus, label="cold")
+        assert cold.requests == 12
+        assert cold.misses == 6 and cold.hits == 6
+        warm = run_load("127.0.0.1", server.port, corpus, label="warm")
+        assert warm.hits == 12 and warm.misses == 0
+        assert warm.hit_rate == 1.0
+        assert "100.0% hit rate" in warm.render()
+
+    def test_process_pool_executor_end_to_end(self, tmp_path):
+        # jobs=1: a real ProcessPoolExecutor carries the allocation.
+        srv = AllocationServer(str(tmp_path / "store"), jobs=1)
+        thread = threading.Thread(target=srv.run, daemon=True)
+        thread.start()
+        srv.wait_ready()
+        try:
+            with ServeClient("127.0.0.1", srv.port) as c:
+                assert c.request(dict(IR_REQUEST))["cached"] is False
+                with pytest.raises(ServeError) as err:
+                    c.allocate(ir="garbage {{{")
+                assert err.value.code == "parse-error"
+                # The pool survived the failure.
+                assert c.request(dict(IR_REQUEST))["cached"] is True
+        finally:
+            srv.request_shutdown()
+            thread.join(timeout=30)

@@ -1,0 +1,267 @@
+"""Crash safety and multi-writer durability of the result store.
+
+The allocation server (docs/SERVING.md) made these paths load-bearing:
+a long-running service and the CLI now routinely share one store
+directory, and a crashed soak run must never poison the cache that
+survives it.  These tests pin the contract:
+
+* ``index.json`` is written atomically and a corrupt/truncated/garbage
+  index is rebuilt from the segments on open — never trusted, never
+  fatal;
+* a torn final JSONL line (a writer killed mid-append) is skipped with
+  a warning, and committed records before it still load;
+* ``runs.jsonl`` appends re-align after a torn tail instead of fusing
+  two manifests into one unparseable line;
+* concurrent processes appending to one store serialize through the
+  advisory lock: unique run ids, unique seqs, cleanly parseable
+  segments;
+* ``kill -9`` mid-run loses nothing that ``finish_run`` committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.results.store import (CellKey, ResultStore, atomic_write_json,
+                                 read_jsonl)
+
+KEY_A = CellKey(workload="analog:wc", allocator="second-chance")
+KEY_B = CellKey(workload="analog:sort", allocator="coloring")
+
+
+def _commit(root, key, code_hash="h1", data=None, label="t"):
+    store = ResultStore(root)
+    store.begin_run(label)
+    store.put(key, code_hash, data if data is not None else {"x": 1})
+    store.finish_run()
+    return store
+
+
+# ----------------------------------------------------------------------
+# index.json: atomic writes, rebuild-not-raise on corruption.
+# ----------------------------------------------------------------------
+def test_index_written_atomically(tmp_path):
+    _commit(tmp_path, KEY_A)
+    index = tmp_path / "index.json"
+    assert index.is_file()
+    doc = json.loads(index.read_text())
+    assert doc["records"] == 1 and KEY_A.ident() in doc["cells"]
+    # No tempfile droppings survive a successful replace.
+    assert not list(tmp_path.glob("index.json.*"))
+
+
+@pytest.mark.parametrize("corruption", [
+    "garbage not json {{{",
+    "",                                         # truncated to nothing
+    '{"schema": 1, "cells": {"half":',          # torn mid-write
+    "[1, 2, 3]",                                # wrong shape entirely
+])
+def test_corrupt_index_is_rebuilt_from_segments(tmp_path, corruption):
+    _commit(tmp_path, KEY_A, data={"x": 41})
+    (tmp_path / "index.json").write_text(corruption)
+    with pytest.warns(UserWarning, match="rebuilding from segments"):
+        reopened = ResultStore(tmp_path)
+    # The records were never at risk...
+    assert reopened.lookup(KEY_A, "h1").data == {"x": 41}
+    assert reopened.metrics.get("results.index.rebuilt") == 1
+    # ...and the snapshot is healthy again for external readers.
+    doc = json.loads((tmp_path / "index.json").read_text())
+    assert doc["cells"][KEY_A.ident()]["seq"] == 1
+
+
+def test_stale_index_is_refreshed_on_open(tmp_path):
+    _commit(tmp_path, KEY_A)
+    atomic_write_json(tmp_path / "index.json",
+                      {"schema": 1, "records": 0, "runs": 0, "cells": {}})
+    with pytest.warns(UserWarning):
+        ResultStore(tmp_path)
+    doc = json.loads((tmp_path / "index.json").read_text())
+    assert KEY_A.ident() in doc["cells"]
+
+
+# ----------------------------------------------------------------------
+# Torn JSONL tails: skip-and-warn, never raise.
+# ----------------------------------------------------------------------
+def test_torn_segment_tail_is_skipped(tmp_path):
+    _commit(tmp_path, KEY_A, data={"x": 1})
+    _commit(tmp_path, KEY_B, data={"x": 2})
+    segments = sorted((tmp_path / "segments").glob("seg-*.jsonl"))
+    with open(segments[-1], "a") as fh:
+        fh.write('{"seq": 99, "ident": "half-a-record...')  # no newline
+    with pytest.warns(UserWarning, match="torn"):
+        reopened = ResultStore(tmp_path)
+    assert reopened.lookup(KEY_A, "h1").data == {"x": 1}
+    assert reopened.lookup(KEY_B, "h1").data == {"x": 2}
+    assert reopened.metrics.get("results.load.torn_lines") == 1
+
+
+def test_truncated_final_line_is_skipped(tmp_path):
+    store = ResultStore(tmp_path)
+    store.begin_run("two")
+    store.put(KEY_A, "h1", {"x": 1})
+    store.put(KEY_B, "h1", {"x": 2})
+    store.finish_run()
+    segment = next((tmp_path / "segments").glob("seg-*.jsonl"))
+    raw = segment.read_bytes()
+    segment.write_bytes(raw[:-7])  # chop mid-way through the last record
+    # The chop also makes index.json stale, so the reopen both skips the
+    # torn line and rebuilds the index — expect the pair.
+    with pytest.warns(UserWarning) as caught:
+        reopened = ResultStore(tmp_path)
+    assert any("torn" in str(w.message) for w in caught)
+    assert reopened.lookup(KEY_A, "h1") is not None
+    assert reopened.peek(KEY_B) is None  # uncommitted line is simply gone
+
+
+def test_runs_append_realigns_after_torn_tail(tmp_path):
+    _commit(tmp_path, KEY_A, label="first")
+    runs = tmp_path / "runs.jsonl"
+    runs.write_bytes(runs.read_bytes() + b'{"run": "r9999", "half')
+    with pytest.warns(UserWarning, match="torn"):
+        _commit(tmp_path, KEY_B, label="second")
+    # The torn tail is still skipped, but the new manifest landed on its
+    # own line instead of fusing onto the garbage and vanishing with it.
+    with pytest.warns(UserWarning, match="torn"):
+        docs = list(read_jsonl(runs))
+    assert [d["label"] for d in docs] == ["first", "second"]
+    with pytest.warns(UserWarning, match="torn"):
+        assert [d["label"] for d in ResultStore(tmp_path).runs()] \
+            == ["first", "second"]
+
+
+def test_read_jsonl_skips_interior_garbage_with_warning(tmp_path):
+    path = tmp_path / "f.jsonl"
+    path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+    with pytest.warns(UserWarning, match="torn/garbage"):
+        docs = list(read_jsonl(path))
+    assert docs == [{"a": 1}, {"b": 2}]
+
+
+# ----------------------------------------------------------------------
+# Concurrent writers.
+# ----------------------------------------------------------------------
+_APPENDER = """\
+import sys
+sys.path.insert(0, "src")
+from repro.results.store import CellKey, ResultStore
+root, worker, count = sys.argv[1], sys.argv[2], int(sys.argv[3])
+for i in range(count):
+    store = ResultStore(root)
+    store.begin_run(label=f"w{worker}")
+    key = CellKey(workload=f"analog:w{worker}-{i}", allocator="second-chance")
+    store.put(key, "h", {"worker": worker, "i": i})
+    store.finish_run()
+    print(key.ident(), flush=True)
+"""
+
+
+def test_multiprocess_appends_do_not_interleave(tmp_path):
+    repo = Path(__file__).resolve().parent.parent
+    procs = [subprocess.Popen(
+        [sys.executable, "-c", _APPENDER, str(tmp_path), str(w), "4"],
+        cwd=repo, stdout=subprocess.PIPE, text=True) for w in range(3)]
+    outs = [p.communicate(timeout=120)[0] for p in procs]
+    assert all(p.returncode == 0 for p in procs)
+    committed = [line for out in outs for line in out.splitlines()]
+    assert len(committed) == 12
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # no torn lines anywhere
+        store = ResultStore(tmp_path)
+    records = list(store.iter_latest())
+    assert {r.ident for r in records} == set(committed)
+    # Seqs and run ids are globally unique despite three writers.
+    seqs = sorted(r.seq for r in records)
+    assert seqs == list(range(1, 13))
+    assert len({doc["run"] for doc in store.runs()}) == 12
+    # Every segment parses cleanly line by line.
+    for segment in (tmp_path / "segments").glob("seg-*.jsonl"):
+        for line in segment.read_text().splitlines():
+            json.loads(line)
+
+
+def test_kill9_mid_run_loses_no_committed_cells(tmp_path):
+    """SIGKILL a committing writer; every cell it reported as committed
+    must survive, and the store must reopen without raising."""
+    repo = Path(__file__).resolve().parent.parent
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _APPENDER, str(tmp_path), "k", "200"],
+        cwd=repo, stdout=subprocess.PIPE, text=True)
+    committed: list[str] = []
+    try:
+        while len(committed) < 5:
+            line = proc.stdout.readline()
+            if not line:
+                pytest.fail("writer exited before committing anything")
+            committed.append(line.strip())
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        # Drain whatever made it out of the pipe before the kill landed.
+        committed += [ln.strip() for ln in proc.stdout.read().splitlines()]
+    finally:
+        proc.stdout.close()
+        if proc.poll() is None:  # pragma: no cover
+            proc.kill()
+    with warnings.catch_warnings(record=True):
+        warnings.simplefilter("always")  # a torn tail is fine; raising is not
+        store = ResultStore(tmp_path)
+    idents = {r.ident for r in store.iter_latest()}
+    assert set(committed) <= idents
+    # And the store is fully usable for the next writer.
+    _commit(tmp_path, KEY_A)
+    assert ResultStore(tmp_path).peek(KEY_A) is not None
+
+
+def test_begin_run_sees_other_processes_records(tmp_path):
+    a = ResultStore(tmp_path)
+    _commit(tmp_path, KEY_A, data={"x": 7})  # a second, concurrent opener
+    assert a.peek(KEY_A) is None             # not visible yet...
+    a.begin_run("later")                     # ...refreshes under the lock
+    try:
+        assert a.lookup(KEY_A, "h1").data == {"x": 7}
+    finally:
+        a.abort_run()
+
+
+def test_abort_run_releases_lock_and_keeps_no_manifest(tmp_path):
+    store = ResultStore(tmp_path)
+    store.begin_run("doomed")
+    store.put(KEY_A, "h1", {"x": 1})
+    store.abort_run()
+    assert store.runs() == []
+    # The lock is free again: a fresh begin_run must not deadlock.
+    run_id = store.begin_run("next")
+    store.finish_run()
+    assert run_id != ""
+
+
+_KEY_STABILITY_PROBE = """\
+import json, sys
+sys.path.insert(0, "src")
+from repro.results.store import CellKey
+key = CellKey(workload="serve:abc123", allocator="coloring",
+              machine="tiny:6x6", context="remat", kind="serve")
+print(json.dumps(key.ident()))
+"""
+
+
+def test_serve_cell_ident_stable_across_hashseed():
+    repo = Path(__file__).resolve().parent.parent
+    outs = []
+    for seed in ("0", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed)
+        proc = subprocess.run([sys.executable, "-c", _KEY_STABILITY_PROBE],
+                              capture_output=True, text=True, env=env,
+                              cwd=repo)
+        assert proc.returncode == 0, proc.stderr
+        outs.append(proc.stdout)
+    assert outs[0] == outs[1]
