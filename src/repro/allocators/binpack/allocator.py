@@ -115,10 +115,13 @@ class SecondChanceBinpacking(RegisterAllocator):
         it.  Both values equal ``point`` when the register is unavailable
         now.
         """
-        reserved = table.reserved_for(reg)
-        if reserved.covers(point):
+        # One memoized lookup answers both "reserved now?" (nxt == point)
+        # and "when does the next reservation begin?" — the hole search
+        # asks this for every register at the same point, so the memo
+        # absorbs the repeat bisects.
+        nxt = table.reserved_for(reg).next_covered_memo(point)
+        if nxt == point:
             return point, point
-        nxt = reserved.next_covered_at_or_after(point)
         end = nxt if nxt is not None else _INF
         occupant_resume = _INF
         state.prune(reg, point)
@@ -317,7 +320,9 @@ class SecondChanceBinpacking(RegisterAllocator):
         victim: Temp | None = None
         worst = (float("inf"), -1)  # (priority, register index), minimized
         for reg in emitter.register_order(temp.regclass):
-            if reg in locked or table.reserved_for(reg).covers(point):
+            if (reg in locked
+                    or table.reserved_for(reg).next_covered_memo(point)
+                    == point):
                 continue
             blocking = [t for t in state.occupants_of(reg)
                         if table.temps[t].start <= point < table.temps[t].end]
@@ -457,7 +462,8 @@ class SecondChanceBinpacking(RegisterAllocator):
         for reg, claim in sorted(state.occupants.items()):
             if not claim:
                 continue
-            if not table.reserved_for(reg).overlaps_interval(use_point, window_end):
+            if not table.reserved_for(reg).overlaps_interval_memo(
+                    use_point, window_end):
                 continue
             for temp in list(claim):
                 self._evict(state, table, emitter, stats, temp, reg,

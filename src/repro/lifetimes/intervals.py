@@ -80,7 +80,7 @@ class RangeSet:
     iteration boundary (``iter``/``ranges``/``holes``), built lazily.
     """
 
-    __slots__ = ("_starts", "_ends", "_ranges")
+    __slots__ = ("_starts", "_ends", "_ranges", "_memo_point", "_memo_next")
 
     def __init__(self, raw: list[tuple[int, int]] | None = None):
         starts: list[int] = []
@@ -97,6 +97,8 @@ class RangeSet:
         self._starts = starts
         self._ends = ends
         self._ranges: tuple[Range, ...] | None = None
+        self._memo_point: int | None = None
+        self._memo_next: int | None = None
 
     @classmethod
     def _from_flat(cls, starts: list[int], ends: list[int]) -> "RangeSet":
@@ -105,6 +107,8 @@ class RangeSet:
         rs._starts = starts
         rs._ends = ends
         rs._ranges = None
+        rs._memo_point = None
+        rs._memo_next = None
         return rs
 
     @classmethod
@@ -183,11 +187,38 @@ class RangeSet:
             return starts[i]
         return None
 
+    def next_covered_memo(self, point: int) -> int | None:
+        """:meth:`next_covered_at_or_after` behind a one-entry memo.
+
+        The binpacking scan queries every register's reserved set at the
+        same non-decreasing allocation point several times per
+        instruction window (hole search, reservation expiry, eviction
+        victim scan), so a single remembered ``(point, answer)`` pair
+        absorbs most of the bisect traffic.  ``covers(point)`` is the
+        ``answer == point`` case, so callers needing both facts pay one
+        lookup.  Pure memoization — never observable: the cached answer
+        is exactly what the direct query returns (pinned by the parity
+        test), and the sets are immutable after construction.
+        """
+        if point == self._memo_point:
+            return self._memo_next
+        nxt = self.next_covered_at_or_after(point)
+        self._memo_point = point
+        self._memo_next = nxt
+        return nxt
+
     def overlaps_interval(self, start: int, end: int) -> bool:
         """True when the set intersects ``[start, end)``."""
         if start >= end:
             return False
         nxt = self.next_covered_at_or_after(start)
+        return nxt is not None and nxt < end
+
+    def overlaps_interval_memo(self, start: int, end: int) -> bool:
+        """:meth:`overlaps_interval` through the one-entry memo."""
+        if start >= end:
+            return False
+        nxt = self.next_covered_memo(start)
         return nxt is not None and nxt < end
 
     def overlaps(self, other: "RangeSet") -> bool:

@@ -156,6 +156,15 @@ def allocation_artifact(payload: dict) -> dict:
                              spill_cleanup=bool(payload.get("spill_cleanup")),
                              profiler=profiler, metrics=metrics,
                              context=context)
+        outcome = None
+        if runnable:
+            # Publish the allocated run's dynamic counts (sim.decode.*,
+            # sim.frames.*, sim.op.*) into the same registry, so the
+            # artifact's metrics snapshot covers simulation too.
+            outcome = simulate(result.module, machine, metrics=metrics)
+            if not outputs_equal(outcome.output, reference.output):
+                raise RuntimeError("allocation changed observable behaviour "
+                                   "(differential oracle mismatch)")
         artifact = {
             "code": print_module(result.module),
             "allocator": payload.get("allocator", "second-chance"),
@@ -169,10 +178,6 @@ def allocation_artifact(payload: dict) -> dict:
             "profile": _phase_summary(profiler),
         }
         if runnable:
-            outcome = simulate(result.module, machine)
-            if not outputs_equal(outcome.output, reference.output):
-                raise RuntimeError("allocation changed observable behaviour "
-                                   "(differential oracle mismatch)")
             breakdown = spill_breakdown(outcome)
             artifact.update({
                 "dynamic_instructions": outcome.dynamic_instructions,

@@ -440,6 +440,9 @@ def render_perf_trajectory(store: ResultStore | None = None,
     out = format_table(headers, [
         [cell if cell is not None else "" for cell in row] for row in rows],
         title="Perf trajectory (group medians per recorded point)")
+    detail = render_sim_trajectory(repo_root=repo_root)
+    if detail:
+        out += "\n\n" + detail
     detail = render_interference_trajectory(repo_root=repo_root)
     if detail:
         out += "\n\n" + detail
@@ -449,25 +452,27 @@ def render_perf_trajectory(store: ResultStore | None = None,
     return out
 
 
-def render_interference_trajectory(repo_root: str | Path = ".") -> str:
-    """Per-benchmark trajectory of the ``interference.*`` cells.
+def _render_cell_trajectory(prefix: str, title: str,
+                            repo_root: str | Path = ".") -> str:
+    """Per-benchmark trajectory of the cells named ``{prefix}.*``.
 
-    The group table above sums the interference cells; this one follows
-    each cell individually across every ``BENCH_*.json`` point (the PR 5
-    mask-based build, the PR 7 interval sweep, ...), with a per-cell
-    speedup row wherever a point recorded both phases.
+    The group table above sums these cells; this one follows each cell
+    individually across every ``BENCH_*.json`` point, with a per-cell
+    speedup row wherever a point recorded both phases.  Points without
+    any matching cell (e.g. a serve-soak point) are skipped.
     """
+    dotted = prefix + "."
     names: list[str] = []
     rows: list[list[str]] = []
     for label, doc in _bench_documents(Path(repo_root)):
         phases = {p: doc[p] for p in ("before", "after") if doc.get(p)}
-        if not any(name.startswith("interference.")
+        if not any(name.startswith(dotted)
                    for run in phases.values()
                    for name in run.get("benchmarks", {})):
-            continue  # e.g. a serve-soak point: nothing to show here
+            continue
         for run in phases.values():
             for name in run.get("benchmarks", {}):
-                if name.startswith("interference.") and name not in names:
+                if name.startswith(dotted) and name not in names:
                     names.append(name)
 
         def cell_ms(run: dict, name: str) -> float | None:
@@ -491,9 +496,24 @@ def render_interference_trajectory(repo_root: str | Path = ".") -> str:
     for row in rows:
         row.extend([""] * (width - len(row)))
     headers = ["trajectory", "phase"] + [f"{n} (ms)" for n in names]
-    return format_table(
-        headers, rows,
-        title="Interference-build trajectory (per-cell medians)")
+    return format_table(headers, rows, title=title)
+
+
+def render_sim_trajectory(repo_root: str | Path = ".") -> str:
+    """Per-benchmark trajectory of the ``sim.*`` cells across every
+    ``BENCH_*.json`` point (the PR 5 pre-decode rewrite, the PR 10
+    dense-state rewrite, ...)."""
+    return _render_cell_trajectory(
+        "sim", "Simulator trajectory (per-cell medians)",
+        repo_root=repo_root)
+
+
+def render_interference_trajectory(repo_root: str | Path = ".") -> str:
+    """Per-benchmark trajectory of the ``interference.*`` cells (the
+    PR 5 mask-based build, the PR 7 interval sweep, ...)."""
+    return _render_cell_trajectory(
+        "interference", "Interference-build trajectory (per-cell medians)",
+        repo_root=repo_root)
 
 
 def render_serve_soaks(store: ResultStore | None = None,
@@ -619,6 +639,6 @@ __all__ = ["FIGURE3_KEYS", "MissingCells", "REPORT_FILES", "TIMING_FILES",
            "render_block_order", "render_figure3",
            "render_interference_trajectory", "render_perf_trajectory",
            "render_remat", "render_runs", "render_section31",
-           "render_serve_soaks", "render_table1",
+           "render_serve_soaks", "render_sim_trajectory", "render_table1",
            "render_table2", "render_table3", "remat_rows", "section31_rows",
            "table1_rows", "table2_rows", "table3_rows"]

@@ -35,7 +35,8 @@ from repro.results.store import CellKey, ResultStore, content_hash
 
 #: Bumped when the artifact payload layout changes incompatibly; old
 #: cache entries then miss and are recomputed, never misread.
-ARTIFACT_SCHEMA = 1
+#: v2: the metrics snapshot gained the simulation counters (``sim.*``).
+ARTIFACT_SCHEMA = 2
 
 
 def artifact_cache_key(request: dict) -> tuple[CellKey, str]:

@@ -1,4 +1,4 @@
-"""The executing simulator (pre-decoded interpreter).
+"""The executing simulator (pre-decoded, dense-state interpreter).
 
 Semantics notes:
 
@@ -43,7 +43,7 @@ Execution model
 The module-walking interpreter lives in
 :mod:`repro.sim.reference` (tests only).  This one *pre-decodes*: the
 first time a function is called, every block is compiled once into a
-flat tuple program — one ``(ctl, handler, cycles, op, spill_key, args)``
+flat tuple program — one ``(ctl, handler, cycles, op, spill, args)``
 entry per instruction, with the opcode dispatched through a table of
 bound handler methods and every operand resolved at decode time into its
 slot kind (temporary / physical register / stack slot / immediate /
@@ -53,17 +53,55 @@ calls push entries on an explicit frame stack instead of recursing one
 Python frame per call, so call depth is bounded by ``MAX_CALL_DEPTH``
 alone, not by the host interpreter's recursion limit.
 
+Dense state
+-----------
+
+All machine state lives in flat Python lists indexed by small integers
+interned at decode time — the hot loop performs **zero hashing**:
+
+* **Registers** get one machine-wide index space (``self.regs`` is a
+  flat list, GPRs first then FPRs, in machine order).  Registers are
+  always initialized (0 / 0.0), so no sentinel is needed.
+* **Temporaries** get one index space *per function*; each frame's
+  ``temps`` list is pre-filled from a per-function template of register
+  class defaults (0 for GPR, 0.0 for FPR), so a read of a never-written
+  temporary yields the class default exactly as the reference's
+  ``dict.get(temp, default)`` did.
+* **Stack slots** get one *module-wide* index space; each frame's
+  ``slots`` list is pre-filled with the ``_UNSET`` sentinel, and a load
+  finding the sentinel raises the same "load of never-written" fault,
+  byte-identical, the dict-membership test produced.  The decoded entry
+  keeps the :class:`~repro.ir.temp.StackSlot` object purely for the
+  fault message.
+* **Poison tracking** (``trap_poison``) is a per-register ``bytearray``
+  flag vector instead of a set of ``PhysReg`` objects; guarded operand
+  specs carry the register object only for the fault message.
+
+Frames are **pooled per function**: a ``ret`` returns the frame to its
+function's free list and the next call re-arms it with two C-level slice
+copies (temps/slots templates) instead of allocating fresh dicts.  The
+callee-saved snapshot is a flat list filled through a precomputed
+callee-saved index vector — no per-call dict.
+
+Both dynamic histograms are integer-keyed in the loop — opcodes by their
+dense ``Op`` index, spill categories by an interned ``(phase, kind)``
+index — and fold back into the observable ``Counter`` objects only at
+the ``op_counts`` / ``spill_counts`` boundary, so no ``enum.__hash__``
+runs per instruction.
+
 Decoded programs are cached per function for the lifetime of the
 ``Simulator`` (a module must not be mutated mid-simulation, which the
 pipeline never does); ``decode.compiled`` / ``decode.cached`` count
-compiles and cache hits and publish as ``sim.decode.*`` metrics.
+compiles and cache hits and publish as ``sim.decode.*`` metrics, and
+``frames.allocated`` / ``frames.reused`` make the frame pool observable
+as ``sim.frames.*``.
 """
 
 from __future__ import annotations
 
 import operator
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ir.function import Function
 from repro.ir.instr import Instr, Op, SpillPhase
@@ -79,6 +117,12 @@ _TWO64 = 1 << 64
 
 _GPR_POISON = -6148914691236517206  # 0xAAAA...AAAA as a signed 64-bit value
 _FPR_POISON = -2.462743370480293e103
+
+#: Sentinel marking a stack-slot cell never stored in this frame.  An
+#: identity check against it replaces the reference's dict-membership
+#: test; it can never collide with a program value (those are ints and
+#: floats).
+_UNSET = object()
 
 
 def _wrap64(value: int) -> int:
@@ -102,6 +146,9 @@ class SimOutcome:
         decode_compiled: Functions the simulator pre-decoded (0 for the
             reference interpreter).
         decode_cached: Calls served from the decode cache.
+        frames_allocated: Frames newly constructed (0 for the reference
+            interpreter, which builds one per call instead of pooling).
+        frames_reused: Calls served by re-arming a pooled frame.
     """
 
     output: list[int | float]
@@ -112,6 +159,8 @@ class SimOutcome:
     spill_counts: Counter
     decode_compiled: int = 0
     decode_cached: int = 0
+    frames_allocated: int = 0
+    frames_reused: int = 0
 
     @property
     def spill_instructions(self) -> int:
@@ -137,6 +186,8 @@ class SimOutcome:
         metrics.bump("sim.dynamic.spill_instructions", self.spill_instructions)
         metrics.bump("sim.decode.compiled", self.decode_compiled)
         metrics.bump("sim.decode.cached", self.decode_cached)
+        metrics.bump("sim.frames.allocated", self.frames_allocated)
+        metrics.bump("sim.frames.reused", self.frames_reused)
         for op, count in self.op_counts.items():
             metrics.bump(f"sim.op.{op.name.lower()}", count)
         for (phase, kind), count in self.spill_counts.items():
@@ -147,17 +198,38 @@ class SimOutcome:
 class _Frame:
     """Per-activation state: temporaries, stack slots, saved callee-saves.
 
-    Control position (current decoded block + index) lives in the run
-    loop's locals and on the explicit call stack, not here.
+    All three are flat lists in their dense index spaces (see the module
+    docstring).  Control position (current decoded block + index) lives
+    in the run loop's locals and on the explicit call stack, not here.
+    Frames are pooled per function (``info.pool``) and re-armed from the
+    templates on reuse.
     """
 
-    __slots__ = ("fn", "temps", "slots", "entry_callee_saved")
+    __slots__ = ("fn", "info", "temps", "slots", "saved")
+
+    def __init__(self, info: "_FnInfo", n_saved: int):
+        self.fn = info.fn
+        self.info = info
+        self.temps: list[int | float] = list(info.temps_tpl)
+        self.slots: list = list(info.slots_tpl)
+        self.saved: list[int | float] = [0] * n_saved
+
+
+class _FnInfo:
+    """One function's decoded program plus its frame-template state."""
+
+    __slots__ = ("fn", "entry", "temps_tpl", "slots_tpl", "pool")
 
     def __init__(self, fn: Function):
         self.fn = fn
-        self.temps: dict[Temp, int | float] = {}
-        self.slots: dict[StackSlot, int | float] = {}
-        self.entry_callee_saved: dict[PhysReg, int | float] = {}
+        self.entry: list = []
+        #: Class defaults per temp index (0 / 0.0) — a frame's initial
+        #: ``temps``; a read of a never-written temp sees its default.
+        self.temps_tpl: list[int | float] = []
+        #: ``_UNSET`` per module-wide slot index this function can touch.
+        self.slots_tpl: list = []
+        #: Free frames, reused LIFO by the next call of this function.
+        self.pool: list[_Frame] = []
 
 
 # Control tags of decoded entries (entry[0]).
@@ -169,16 +241,19 @@ _CTL_RET = 4
 _CTL_FAULT = 5  # fell-off-block sentinel / unknown branch target
 
 # Operand-spec kinds (spec[0]): how a register operand is accessed.
-_K_TEMP = 0    # (0, temp, class_default)  reads; (0, temp) writes
-_K_PHYS = 1    # (1, physreg)              direct register-file access
-_K_GUARD = 2   # (2, physreg)              + poison trap/untrack bookkeeping
-_K_BAD = 3     # (3, message)              faults when executed
+_K_TEMP = 0    # (0, temp_index)            frame.temps[i]
+_K_PHYS = 1    # (1, reg_index)             self.regs[i]
+_K_GUARD = 2   # (2, reg_index, physreg)    + poison trap/untrack bookkeeping
+_K_BAD = 3     # (3, message)               faults when executed
 
 #: Dense opcode numbering for the run loop's histogram: counting into a
 #: flat int list is markedly cheaper than a per-instruction Counter[Op]
 #: update; the histogram folds back into the Counter on loop exit.
 _OP_LIST = tuple(Op)
 _OP_INDEX = {op: i for i, op in enumerate(_OP_LIST)}
+
+#: spill index -1 in a decoded entry = not allocator-inserted code.
+_NO_SPILL = -1
 
 #: Two-operand integer ALU ops sharing one handler (wrap applied after).
 _INT_BIN = {
@@ -215,12 +290,18 @@ class Simulator:
         self.poison_calls = poison_calls
         self.check_callee_saved = check_callee_saved
         self.trap_poison = trap_poison
-        self._poisoned: set[PhysReg] = set()
-        self.regs: dict[PhysReg, int | float] = {}
+        #: Machine-wide dense register index space: GPRs then FPRs, in
+        #: machine order.  ``self.regs`` is the flat register file.
+        self._reg_ix: dict[PhysReg, int] = {}
+        self.regs: list[int | float] = []
         for reg in machine.gprs:
-            self.regs[reg] = 0
+            self._reg_ix[reg] = len(self.regs)
+            self.regs.append(0)
         for reg in machine.fprs:
-            self.regs[reg] = 0.0
+            self._reg_ix[reg] = len(self.regs)
+            self.regs.append(0.0)
+        #: Per-register poison flags (only written when ``trap_poison``).
+        self._poisoned = bytearray(len(self.regs))
         self.heap: list[int | float | None] = [None] * module.heap_size
         for arr in module.globals.values():
             fill: int | float = 0 if arr.regclass is RegClass.GPR else 0.0
@@ -232,29 +313,55 @@ class Simulator:
         self.op_counts: Counter = Counter()
         self._op_hist: list[int] = [0] * len(_OP_LIST)
         self.spill_counts: Counter = Counter()
-        #: Decoded program per function name, filled lazily at first call.
-        self._decoded: dict[str, list] = {}
+        #: Interned spill categories: ``(phase, kind) -> dense index``;
+        #: the loop counts into ``_spill_hist`` and folds on exit.
+        self._spill_ix: dict[tuple, int] = {}
+        self._spill_keys: list[tuple] = []
+        self._spill_hist: list[int] = []
+        #: Module-wide dense stack-slot index space, grown at decode.
+        self._slot_ix: dict[StackSlot, int] = {}
+        #: Decoded program + frame templates per function name, filled
+        #: lazily at first call.
+        self._decoded: dict[str, _FnInfo] = {}
         self.decode_compiled = 0
         self.decode_cached = 0
+        self.frames_allocated = 0
+        self.frames_reused = 0
         #: Caller-saved registers with their poison values, both classes —
-        #: fixed per machine, shared by every call-site decode.
+        #: fixed per machine, shared by every call-site decode (mapped to
+        #: register indices there).
         self._poison_all: tuple[tuple[PhysReg, int | float], ...] = tuple(
             [(r, _GPR_POISON) for r in machine.caller_saved(RegClass.GPR)]
             + [(r, _FPR_POISON) for r in machine.caller_saved(RegClass.FPR)])
-        self._callee_saved_all: tuple[PhysReg, ...] = (
-            machine.callee_saved(RegClass.GPR)
-            + machine.callee_saved(RegClass.FPR))
+        #: Callee-saved index vector + parallel register objects (the
+        #: objects appear only in clobber fault messages).  Order matches
+        #: the reference's snapshot insertion order: GPRs then FPRs.
+        callee = (machine.callee_saved(RegClass.GPR)
+                  + machine.callee_saved(RegClass.FPR))
+        self._callee_regs: tuple[PhysReg, ...] = callee
+        self._callee_idx: tuple[int, ...] = tuple(self._reg_ix[r]
+                                                  for r in callee)
+        # Decode-time per-function interning state (valid only inside
+        # _decode_fn; held on self so the spec helpers keep their shape).
+        self._cur_temp_ix: dict[Temp, int] = {}
+        self._cur_temps_tpl: list[int | float] = []
 
     # ------------------------------------------------------------------
     # Decoding.
     # ------------------------------------------------------------------
-    def _entry_code(self, fn: Function) -> list:
-        """The decoded entry block of ``fn`` (compiling on first call)."""
-        code = self._decoded.get(fn.name)
-        if code is not None:
+    def _fn_info(self, fn: Function) -> _FnInfo:
+        """The decoded program of ``fn`` (compiling on first call)."""
+        info = self._decoded.get(fn.name)
+        if info is not None:
             self.decode_cached += 1
-            return code
+            return info
         self.decode_compiled += 1
+        return self._decode_fn(fn)
+
+    def _decode_fn(self, fn: Function) -> _FnInfo:
+        info = _FnInfo(fn)
+        self._cur_temp_ix = {}
+        self._cur_temps_tpl = info.temps_tpl
         codes: dict[str, list] = {b.label: [] for b in fn.blocks}
         for block in fn.blocks:
             out = codes[block.label]
@@ -262,12 +369,15 @@ class Simulator:
                 out.append(self._decode_instr(fn, instr, codes))
             # Fell-off guard: a block without a terminator faults exactly
             # where the reference interpreter does.
-            out.append((_CTL_FAULT, None, 0, None, None,
+            out.append((_CTL_FAULT, None, 0, 0, _NO_SPILL,
                         (SimulationError,
                          f"{fn.name}/{block.label}: fell off block")))
-        entry = codes[fn.entry.label]
-        self._decoded[fn.name] = entry
-        return entry
+        info.entry = codes[fn.entry.label]
+        # Every slot this function touches was interned above, so the
+        # module-wide count now covers all of its indices.
+        info.slots_tpl = [_UNSET] * len(self._slot_ix)
+        self._decoded[fn.name] = info
+        return info
 
     @staticmethod
     def _target(label: str, codes: dict[str, list]) -> list:
@@ -277,44 +387,71 @@ class Simulator:
         the branch is actually taken to it."""
         code = codes.get(label)
         if code is None:
-            return [(_CTL_FAULT, None, 0, None, None, (KeyError, label))]
+            return [(_CTL_FAULT, None, 0, 0, _NO_SPILL, (KeyError, label))]
         return code
 
+    def _temp_i(self, temp: Temp) -> int:
+        """Intern ``temp`` into the current function's index space."""
+        i = self._cur_temp_ix.get(temp)
+        if i is None:
+            i = self._cur_temp_ix[temp] = len(self._cur_temps_tpl)
+            self._cur_temps_tpl.append(
+                0 if temp.regclass is RegClass.GPR else 0.0)
+        return i
+
+    def _slot_i(self, slot: StackSlot) -> int:
+        """Intern ``slot`` into the module-wide index space."""
+        i = self._slot_ix.get(slot)
+        if i is None:
+            i = self._slot_ix[slot] = len(self._slot_ix)
+        return i
+
+    def _spill_i(self, key: tuple) -> int:
+        """Intern a ``(phase, kind)`` spill category to its dense index."""
+        i = self._spill_ix.get(key)
+        if i is None:
+            i = self._spill_ix[key] = len(self._spill_keys)
+            self._spill_keys.append(key)
+            self._spill_hist.append(0)
+        return i
+
     def _read_spec(self, reg: Reg) -> tuple:
-        """Pre-resolve a use operand into its slot kind."""
+        """Pre-resolve a use operand into its slot kind + dense index."""
         if isinstance(reg, Temp):
-            default: int | float = 0 if reg.regclass is RegClass.GPR else 0.0
-            return (_K_TEMP, reg, default)
-        if reg not in self.regs:
+            return (_K_TEMP, self._temp_i(reg))
+        ri = self._reg_ix.get(reg)
+        if ri is None:
             return (_K_BAD, f"register {reg} does not exist on "
                             f"{self.machine.name}")
         if self.trap_poison:
-            return (_K_GUARD, reg)
-        return (_K_PHYS, reg)
+            return (_K_GUARD, ri, reg)
+        return (_K_PHYS, ri)
 
     def _write_spec(self, reg: Reg) -> tuple:
-        """Pre-resolve a def operand into its slot kind."""
+        """Pre-resolve a def operand into its slot kind + dense index."""
         if isinstance(reg, Temp):
-            return (_K_TEMP, reg)
-        if reg not in self.regs:
+            return (_K_TEMP, self._temp_i(reg))
+        ri = self._reg_ix.get(reg)
+        if ri is None:
             return (_K_BAD, f"register {reg} does not exist on "
                             f"{self.machine.name}")
         # Writes un-poison; only worth tracking when reads can trap.
-        return (_K_GUARD, reg) if self.trap_poison else (_K_PHYS, reg)
+        return (_K_GUARD, ri, reg) if self.trap_poison else (_K_PHYS, ri)
 
     def _decode_instr(self, fn: Function, instr: Instr,
                       codes: dict[str, list]) -> tuple:
         """Compile one instruction into its flat decoded entry."""
         op = instr.op
         cyc = cycle_cost(op)
-        spill_key = (None if instr.spill_phase is None
-                     else (instr.spill_phase, instr.spill_kind()))
+        spill_i = (_NO_SPILL if instr.spill_phase is None
+                   else self._spill_i((instr.spill_phase,
+                                       instr.spill_kind())))
         fname = fn.name
 
         op_i = _OP_INDEX[op]
 
         def entry(ctl: int, handler, args) -> tuple:
-            return (ctl, handler, cyc, op_i, spill_key, args)
+            return (ctl, handler, cyc, op_i, spill_i, args)
 
         if op is Op.JMP:
             return entry(_CTL_JMP, None, self._target(instr.targets[0], codes))
@@ -329,7 +466,8 @@ class Simulator:
         if op is Op.CALL:
             callee = self.module.functions.get(instr.callee)
             skip = set(instr.defs)
-            poison = (tuple((reg, value) for reg, value in self._poison_all
+            poison = (tuple((self._reg_ix[reg], value)
+                            for reg, value in self._poison_all
                             if reg not in skip)
                       if self.poison_calls else ())
             defs = tuple(self._write_spec(d) for d in instr.defs)
@@ -352,10 +490,12 @@ class Simulator:
         if op is Op.NOP:
             return self._h_nop, ()
         if op is Op.LDS:
-            return self._h_lds, (instr.slot,
-                                 self._write_spec(instr.defs[0]), fname)
+            return self._h_lds, (self._slot_i(instr.slot),
+                                 self._write_spec(instr.defs[0]), fname,
+                                 instr.slot)
         if op is Op.STS:
-            return self._h_sts, (self._read_spec(instr.uses[0]), instr.slot)
+            return self._h_sts, (self._read_spec(instr.uses[0]),
+                                 self._slot_i(instr.slot))
         if op is Op.LD or op is Op.FLD:
             cls = RegClass.GPR if op is Op.LD else RegClass.FPR
             return self._h_load, (self._read_spec(instr.uses[0]), instr.imm,
@@ -402,19 +542,19 @@ class Simulator:
     def _read_guard(self, spec) -> int | float:
         kind = spec[0]
         if kind == _K_GUARD:
-            reg = spec[1]
-            if reg in self._poisoned:
+            if self._poisoned[spec[1]]:
                 raise SimulationError(
-                    f"read of caller-saved {reg} still poisoned by a call")
-            return self.regs[reg]
+                    f"read of caller-saved {spec[2]} still poisoned by a "
+                    f"call")
+            return self.regs[spec[1]]
         raise SimulationError(spec[1])  # _K_BAD
 
     def _write_guard(self, spec, value) -> None:
         kind = spec[0]
         if kind == _K_GUARD:
-            reg = spec[1]
-            self.regs[reg] = value
-            self._poisoned.discard(reg)
+            ri = spec[1]
+            self.regs[ri] = value
+            self._poisoned[ri] = 0
             return
         raise SimulationError(spec[1])  # _K_BAD
 
@@ -443,7 +583,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Straight-line handlers.  Every handler receives (frame, args) with
     # args fully pre-resolved; operand reads/writes inline the two fast
-    # slot kinds and fall back to the guarded paths.
+    # slot kinds (flat-list indexing) and fall back to the guarded paths.
     # ------------------------------------------------------------------
     def _h_nop(self, frame: _Frame, a) -> None:
         pass
@@ -460,7 +600,7 @@ class Simulator:
     def _h_mov(self, frame: _Frame, a) -> None:
         src, dst = a
         if src[0] == 0:
-            value = frame.temps.get(src[1], src[2])
+            value = frame.temps[src[1]]
         elif src[0] == 1:
             value = self.regs[src[1]]
         else:
@@ -475,7 +615,7 @@ class Simulator:
     def _h_print(self, frame: _Frame, a) -> None:
         src = a[0]
         if src[0] == 0:
-            value = frame.temps.get(src[1], src[2])
+            value = frame.temps[src[1]]
         elif src[0] == 1:
             value = self.regs[src[1]]
         else:
@@ -483,11 +623,10 @@ class Simulator:
         self.output.append(value)
 
     def _h_lds(self, frame: _Frame, a) -> None:
-        slot, dst, fname = a
-        slots = frame.slots
-        if slot not in slots:
+        si, dst, fname, slot = a
+        value = frame.slots[si]
+        if value is _UNSET:
             raise SimulationError(f"{fname}: load of never-written {slot}")
-        value = slots[slot]
         if dst[0] == 0:
             frame.temps[dst[1]] = value
         elif dst[0] == 1:
@@ -496,19 +635,19 @@ class Simulator:
             self._write_guard(dst, value)
 
     def _h_sts(self, frame: _Frame, a) -> None:
-        src, slot = a
+        src, si = a
         if src[0] == 0:
-            value = frame.temps.get(src[1], src[2])
+            value = frame.temps[src[1]]
         elif src[0] == 1:
             value = self.regs[src[1]]
         else:
             value = self._read_guard(src)
-        frame.slots[slot] = value
+        frame.slots[si] = value
 
     def _h_load(self, frame: _Frame, a) -> None:
         base_spec, imm, cls, dst, fname = a
         if base_spec[0] == 0:
-            base = frame.temps.get(base_spec[1], base_spec[2])
+            base = frame.temps[base_spec[1]]
         elif base_spec[0] == 1:
             base = self.regs[base_spec[1]]
         else:
@@ -524,13 +663,13 @@ class Simulator:
     def _h_store(self, frame: _Frame, a) -> None:
         src, base_spec, imm, fname = a
         if src[0] == 0:
-            value = frame.temps.get(src[1], src[2])
+            value = frame.temps[src[1]]
         elif src[0] == 1:
             value = self.regs[src[1]]
         else:
             value = self._read_guard(src)
         if base_spec[0] == 0:
-            base = frame.temps.get(base_spec[1], base_spec[2])
+            base = frame.temps[base_spec[1]]
         elif base_spec[0] == 1:
             base = self.regs[base_spec[1]]
         else:
@@ -540,7 +679,7 @@ class Simulator:
     def _h_addi(self, frame: _Frame, a) -> None:
         src, imm, dst = a
         if src[0] == 0:
-            value = frame.temps.get(src[1], src[2])
+            value = frame.temps[src[1]]
         elif src[0] == 1:
             value = self.regs[src[1]]
         else:
@@ -558,7 +697,7 @@ class Simulator:
     def _unary(self, frame: _Frame, a):
         src = a[0]
         if src[0] == 0:
-            return frame.temps.get(src[1], src[2])
+            return frame.temps[src[1]]
         if src[0] == 1:
             return self.regs[src[1]]
         return self._read_guard(src)
@@ -603,13 +742,13 @@ class Simulator:
         temps = frame.temps
         regs = self.regs
         if sa[0] == 0:
-            x = temps.get(sa[1], sa[2])
+            x = temps[sa[1]]
         elif sa[0] == 1:
             x = regs[sa[1]]
         else:
             x = self._read_guard(sa)
         if sb[0] == 0:
-            y = temps.get(sb[1], sb[2])
+            y = temps[sb[1]]
         elif sb[0] == 1:
             y = regs[sb[1]]
         else:
@@ -629,13 +768,13 @@ class Simulator:
         temps = frame.temps
         regs = self.regs
         if sa[0] == 0:
-            x = temps.get(sa[1], sa[2])
+            x = temps[sa[1]]
         elif sa[0] == 1:
             x = regs[sa[1]]
         else:
             x = self._read_guard(sa)
         if sb[0] == 0:
-            y = temps.get(sb[1], sb[2])
+            y = temps[sb[1]]
         elif sb[0] == 1:
             y = regs[sb[1]]
         else:
@@ -653,13 +792,13 @@ class Simulator:
         temps = frame.temps
         regs = self.regs
         if sa[0] == 0:
-            x = temps.get(sa[1], sa[2])
+            x = temps[sa[1]]
         elif sa[0] == 1:
             x = regs[sa[1]]
         else:
             x = self._read_guard(sa)
         if sb[0] == 0:
-            y = temps.get(sb[1], sb[2])
+            y = temps[sb[1]]
         elif sb[0] == 1:
             y = regs[sb[1]]
         else:
@@ -676,13 +815,13 @@ class Simulator:
         _sa, sb = a[0], a[1]
         # (shared by div/rem: read both operands with the inline kinds)
         if _sa[0] == 0:
-            x = frame.temps.get(_sa[1], _sa[2])
+            x = frame.temps[_sa[1]]
         elif _sa[0] == 1:
             x = self.regs[_sa[1]]
         else:
             x = self._read_guard(_sa)
         if sb[0] == 0:
-            y = frame.temps.get(sb[1], sb[2])
+            y = frame.temps[sb[1]]
         elif sb[0] == 1:
             y = self.regs[sb[1]]
         else:
@@ -732,38 +871,55 @@ class Simulator:
             spill_counts=self.spill_counts,
             decode_compiled=self.decode_compiled,
             decode_cached=self.decode_cached,
+            frames_allocated=self.frames_allocated,
+            frames_reused=self.frames_reused,
         )
 
-    def _new_frame(self, fn: Function) -> _Frame:
-        frame = _Frame(fn)
+    def _acquire_frame(self, info: _FnInfo) -> _Frame:
+        """A ready frame for ``info``'s function: pooled when available
+        (re-armed by two slice copies from the templates), fresh
+        otherwise; the callee-saved snapshot fills through the
+        precomputed index vector."""
+        pool = info.pool
+        if pool:
+            frame = pool.pop()
+            frame.temps[:] = info.temps_tpl
+            frame.slots[:] = info.slots_tpl
+            self.frames_reused += 1
+        else:
+            frame = _Frame(info, len(self._callee_idx))
+            self.frames_allocated += 1
         if self.check_callee_saved:
             regs = self.regs
-            saved = frame.entry_callee_saved
-            for reg in self._callee_saved_all:
-                saved[reg] = regs[reg]
+            saved = frame.saved
+            for k, ri in enumerate(self._callee_idx):
+                saved[k] = regs[ri]
         return frame
 
     def _run(self, fn: Function) -> int | float | None:
         """The dispatch loop over decoded entries + the explicit frame
         stack.  Hot counters live in locals and are written back on every
         exit path."""
-        frame = self._new_frame(fn)
-        code = self._entry_code(fn)
+        info = self._fn_info(fn)
+        frame = self._acquire_frame(info)
+        code = info.entry
         i = 0
         stack: list = []  # (frame, code, resume_index, call_args)
         steps = self.steps
         cycles = self.cycles
         max_steps = self.max_steps
         op_hist = self._op_hist
-        spill_counts = self.spill_counts
+        spill_hist = self._spill_hist
         regs = self.regs
         check_callee = self.check_callee_saved
+        callee_idx = self._callee_idx
+        callee_regs = self._callee_regs
         trap = self.trap_poison
         poisoned = self._poisoned
 
         try:
             while True:
-                ctl, handler, cyc, op_i, spill_key, args = code[i]
+                ctl, handler, cyc, op_i, spill_i, args = code[i]
                 if ctl == 5:  # fault sentinel: not a real instruction,
                     exc_type, payload = args  # so raises without counting
                     raise exc_type(payload)
@@ -773,15 +929,15 @@ class Simulator:
                         f"step budget exceeded in {frame.fn.name}")
                 cycles += cyc
                 op_hist[op_i] += 1
-                if spill_key is not None:
-                    spill_counts[spill_key] += 1
+                if spill_i >= 0:
+                    spill_hist[spill_i] += 1
                 if ctl == 0:  # straight-line
                     handler(frame, args)
                     i += 1
                 elif ctl == 2:  # br
                     spec, then_code, else_code = args
                     if spec[0] == 0:
-                        cond = frame.temps.get(spec[1], spec[2])
+                        cond = frame.temps[spec[1]]
                     elif spec[0] == 1:
                         cond = regs[spec[1]]
                     else:
@@ -801,36 +957,42 @@ class Simulator:
                         raise SimulationError(
                             f"call depth exceeded entering {callee.name}")
                     stack.append((frame, code, i + 1, args))
-                    frame = self._new_frame(callee)
-                    code = self._entry_code(callee)
+                    info = self._fn_info(callee)
+                    frame = self._acquire_frame(info)
+                    code = info.entry
                     i = 0
                 else:  # ret
                     spec = args
                     if spec is None:
                         value = None
                     elif spec[0] == 0:
-                        value = frame.temps.get(spec[1], spec[2])
+                        value = frame.temps[spec[1]]
                     elif spec[0] == 1:
                         value = regs[spec[1]]
                     else:
                         value = self._read_guard(spec)
                     if check_callee:
-                        for reg, saved in frame.entry_callee_saved.items():
-                            current = regs[reg]
-                            same = (current == saved or
-                                    (current != current and saved != saved))
+                        saved = frame.saved
+                        for k, ri in enumerate(callee_idx):
+                            current = regs[ri]
+                            entry_value = saved[k]
+                            same = (current == entry_value or
+                                    (current != current
+                                     and entry_value != entry_value))
                             if not same:
                                 raise SimulationError(
-                                    f"{frame.fn.name}: callee-saved {reg} "
-                                    f"clobbered ({saved!r} -> {current!r})")
+                                    f"{frame.fn.name}: callee-saved "
+                                    f"{callee_regs[k]} clobbered "
+                                    f"({entry_value!r} -> {current!r})")
+                    frame.info.pool.append(frame)
                     if not stack:
                         return value
                     frame, code, i, call_args = stack.pop()
                     _callee, callee_name, poison, defs, fname = call_args
-                    for reg, poison_value in poison:
-                        regs[reg] = poison_value
+                    for ri, poison_value in poison:
+                        regs[ri] = poison_value
                         if trap:
-                            poisoned.add(reg)
+                            poisoned[ri] = 1
                     for dst in defs:
                         if value is None:
                             raise SimulationError(
@@ -850,6 +1012,12 @@ class Simulator:
                 if count:
                     op_counts[_OP_LIST[op_i]] += count
                     op_hist[op_i] = 0
+            spill_counts = self.spill_counts
+            spill_keys = self._spill_keys
+            for spill_i, count in enumerate(spill_hist):
+                if count:
+                    spill_counts[spill_keys[spill_i]] += count
+                    spill_hist[spill_i] = 0
 
 
 def outputs_equal(a: list[int | float] | None, b: list[int | float] | None) -> bool:

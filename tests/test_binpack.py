@@ -315,3 +315,24 @@ class TestConsistency:
         assert "main" in iters
         # The paper: "terminates in two or three iterations at most".
         assert 0 < iters["main"] <= 4
+
+
+class TestReservedMemoParity:
+    """The memoized reserved-range lookups must not change allocation."""
+
+    def test_allocation_identical_with_memo_disabled(self, monkeypatch):
+        from repro.ir.printer import print_module
+        from repro.lifetimes.intervals import RangeSet
+        from repro.workloads.programs import build_program
+
+        machine = tiny(6, 4)
+        module = build_program("doduc", machine)
+        with_memo = print_module(run_binpack(module, machine).module)
+        # Route every memoized query straight to the unmemoized bisect:
+        # the allocator's output must be byte-identical.
+        monkeypatch.setattr(RangeSet, "next_covered_memo",
+                            RangeSet.next_covered_at_or_after)
+        monkeypatch.setattr(RangeSet, "overlaps_interval_memo",
+                            RangeSet.overlaps_interval)
+        without_memo = print_module(run_binpack(module, machine).module)
+        assert with_memo == without_memo

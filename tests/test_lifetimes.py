@@ -68,6 +68,36 @@ class TestRangeSet:
         with pytest.raises(ValueError):
             Range(3, 3)
 
+    def test_next_covered_memo_parity(self):
+        """The one-entry memo must be invisible: every answer equals the
+        unmemoized query, under arbitrary (repeating, non-monotone)
+        query sequences over many set shapes."""
+        import random
+
+        rng = random.Random(10)
+        for _ in range(200):
+            raw = [(s, s + rng.randrange(1, 6))
+                   for s in (rng.randrange(0, 60)
+                             for _ in range(rng.randrange(0, 8)))]
+            memoized = RangeSet(raw)
+            direct = RangeSet(raw)
+            points = [rng.randrange(-2, 70) for _ in range(30)]
+            # Force repeats: the memo's hit path must also be exercised.
+            points += points[:10]
+            for p in points:
+                assert (memoized.next_covered_memo(p)
+                        == direct.next_covered_at_or_after(p))
+                assert (memoized.next_covered_memo(p) == p) == direct.covers(p)
+                end = p + rng.randrange(0, 5)
+                assert (memoized.overlaps_interval_memo(p, end)
+                        == direct.overlaps_interval(p, end))
+
+    def test_memo_does_not_affect_equality_or_hash(self):
+        a = RangeSet([(2, 5), (8, 9)])
+        b = RangeSet([(2, 5), (8, 9)])
+        a.next_covered_memo(3)
+        assert a == b and hash(a) == hash(b)
+
 
 def figure1_function() -> Function:
     """The paper's Figure 1 CFG: a diamond with four temporaries.

@@ -109,6 +109,24 @@ def test_perf_trajectory_folds_bench_files_and_store(tmp_path):
     assert "no BENCH_*.json" in empty
 
 
+def test_perf_trajectory_renders_sim_cells(tmp_path):
+    """The per-cell sim table follows each sim.* benchmark across points
+    and computes per-cell speedups where both phases exist."""
+    doc = {"before": {"mode": "full", "groups": {"sim": 2.0},
+                      "benchmarks": {"sim.wc": {"median_s": 2.0, "reps": 3},
+                                     "e2e.doduc": {"median_s": 1.0,
+                                                   "reps": 3}}},
+           "after": {"mode": "full", "groups": {"sim": 0.5},
+                     "benchmarks": {"sim.wc": {"median_s": 0.5, "reps": 3}}}}
+    (tmp_path / "BENCH_2.json").write_text(json.dumps(doc))
+    text = render_perf_trajectory(None, tmp_path)
+    assert "Simulator trajectory" in text
+    assert "sim.wc (ms)" in text
+    assert "4.00x" in text
+    # e2e cells stay out of the sim detail table.
+    assert "e2e.doduc (ms)" not in text
+
+
 def _load_perf_bench():
     root = Path(__file__).resolve().parent.parent
     spec = importlib.util.spec_from_file_location(

@@ -59,9 +59,13 @@ class TestAnalogEquivalence:
         assert_equivalent(build_program(name, machine), machine)
 
     @pytest.mark.parametrize("alloc_name", sorted(ALLOCATOR_FACTORIES))
-    def test_allocated_code_matches_reference(self, alloc_name):
+    @pytest.mark.parametrize("name", PROGRAM_NAMES)
+    def test_allocated_code_matches_reference(self, name, alloc_name):
+        """Every analog × every allocator: the dense-state simulator and
+        the reference interpreter must agree on allocated code, with
+        poison reads trapping identically."""
         machine = alpha()
-        module = build_program("doduc", machine)
+        module = build_program(name, machine)
         session = CompilationSession(module, machine)
         result = session.run(make_allocator(alloc_name))
         assert_equivalent(result.module, machine, trap_poison=True)
@@ -135,6 +139,66 @@ class TestFaultEquivalence:
         assert fast == ref
         assert fast == ("fault", "step budget exceeded in main")
 
+    def test_trap_poison_fault_matches(self):
+        """Reading call poison from a caller-saved register must trap
+        with the same kind and message in both interpreters."""
+        machine = tiny(4, 4)
+        caller_saved = machine.caller_saved(machine.gprs[0].regclass)[0]
+        helper = Function("helper")
+        hb = FunctionBuilder(helper)
+        hb.new_block("entry")
+        hb.emit(Instr(Op.RET))
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.emit(Instr(Op.LI, defs=[caller_saved], imm=5))
+        b.emit(Instr(Op.CALL, callee="helper"))
+        b.emit(Instr(Op.PRINT, uses=[caller_saved]))
+        b.emit(Instr(Op.RET))
+        module = Module()
+        module.add_function(fn)
+        module.add_function(helper)
+        fast, ref = run_both(module, machine, trap_poison=True,
+                             check_callee_saved=False)
+        assert fast == ref
+        assert fast[0] == "fault" and "still poisoned by a call" in fast[1]
+
+    def test_never_written_slot_fault_matches(self):
+        """The dense slot file's ``_UNSET`` sentinel must reproduce the
+        reference's dict-membership fault byte for byte."""
+        from repro.ir.temp import StackSlot
+        from repro.ir.types import RegClass
+
+        machine = tiny(4, 4)
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        t = fn.new_temp(RegClass.GPR)
+        b.emit(Instr(Op.LDS, defs=[t], slot=StackSlot(3, RegClass.GPR)))
+        b.emit(Instr(Op.RET))
+        module = Module()
+        module.add_function(fn)
+        fast, ref = run_both(module, machine)
+        assert fast == ref
+        assert fast == ("fault", "main: load of never-written [s3]")
+
+    def test_callee_saved_clobber_fault_matches(self):
+        """The flat saved-registers vector must produce the reference's
+        clobber fault — same register, same old/new values."""
+        machine = tiny(4, 4)
+        callee_saved = machine.callee_saved(machine.gprs[0].regclass)[0]
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.emit(Instr(Op.LI, defs=[callee_saved], imm=99))
+        b.emit(Instr(Op.RET))
+        module = Module()
+        module.add_function(fn)
+        fast, ref = run_both(module, machine)
+        assert fast == ref
+        assert fast[0] == "fault" and "callee-saved" in fast[1]
+        assert "clobbered" in fast[1] and "99" in fast[1]
+
 
 class TestDecodeCache:
     """Block pre-decode must compile each function once and then hit its
@@ -161,3 +225,100 @@ class TestDecodeCache:
         outcome = reference_simulate(module, machine)
         assert outcome.decode_compiled == 0
         assert outcome.decode_cached == 0
+
+
+class TestHistogramBoundary:
+    """The run loop counts opcodes and spill categories by dense int
+    index; the enum-keyed ``Counter`` objects exist only at the outcome
+    boundary and must be exactly what the reference produces."""
+
+    def test_histograms_fold_to_enum_keys(self):
+        from repro.ir.instr import SpillKind, SpillPhase
+
+        machine = alpha()
+        module = build_program("doduc", machine)
+        session = CompilationSession(module, machine)
+        result = session.run(make_allocator("second-chance"))
+        fast = simulate(result.module, machine)
+        ref = reference_simulate(result.module, machine)
+        assert fast.op_counts == ref.op_counts
+        assert fast.spill_counts == ref.spill_counts
+        # Boundary types: callers index these by enum, never by int.
+        assert all(isinstance(op, Op) for op in fast.op_counts)
+        assert all(isinstance(phase, SpillPhase)
+                   and isinstance(kind, SpillKind)
+                   for phase, kind in fast.spill_counts)
+        assert sum(fast.op_counts.values()) == fast.dynamic_instructions
+
+    def test_histograms_fold_even_on_fault(self):
+        """A faulting run must still fold the partial histograms (the
+        fold runs in the loop's ``finally``)."""
+        machine = tiny(4, 4)
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("loop")
+        b.emit(Instr(Op.NOP))
+        b.emit(Instr(Op.JMP, targets=["loop"]))
+        module = Module()
+        module.add_function(fn)
+        from repro.sim.machine import Simulator
+        sim = Simulator(module, machine, max_steps=100)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert sim.op_counts[Op.NOP] == 50
+        assert sim.op_counts[Op.JMP] == 50
+
+
+class TestFramePool:
+    """Frame pooling must be observable and actually reuse frames."""
+
+    def test_frames_reused_across_calls(self):
+        machine = alpha()
+        module = build_program("doduc", machine)  # helper called in a loop
+        metrics = MetricsRegistry()
+        outcome = simulate(module, machine, metrics=metrics)
+        # One live frame per function at this call depth: allocations are
+        # bounded by the module's function count, everything else reuses.
+        assert outcome.frames_allocated <= len(module.functions)
+        assert outcome.frames_reused > 10 * outcome.frames_allocated
+        assert metrics.get("sim.frames.allocated") == outcome.frames_allocated
+        assert metrics.get("sim.frames.reused") == outcome.frames_reused
+
+    def test_pooled_frames_start_clean(self):
+        """A reused frame must not leak the previous activation's slots:
+        the second call's never-written load still faults."""
+        from repro.ir.temp import StackSlot
+        from repro.ir.types import RegClass
+
+        machine = tiny(4, 4)
+        slot = StackSlot(0, RegClass.GPR)
+        helper = Function("helper")
+        hb = FunctionBuilder(helper)
+        hb.new_block("entry")
+        sel = helper.new_temp(RegClass.GPR)
+        loaded = helper.new_temp(RegClass.GPR)
+        # arg protocol: tiny's first GPR carries the selector
+        arg = machine.gprs[0]
+        hb.emit(Instr(Op.MOV, defs=[sel], uses=[arg]))
+        hb.emit(Instr(Op.BR, uses=[sel], targets=["write", "read"]))
+        hb.new_block("write")
+        hb.emit(Instr(Op.STS, uses=[sel], slot=slot))
+        hb.emit(Instr(Op.RET))
+        hb.new_block("read")
+        hb.emit(Instr(Op.LDS, defs=[loaded], slot=slot))
+        hb.emit(Instr(Op.RET))
+        fn = Function("main")
+        b = FunctionBuilder(fn)
+        b.new_block("entry")
+        b.emit(Instr(Op.LI, defs=[arg], imm=1))
+        b.emit(Instr(Op.CALL, callee="helper"))  # writes the slot
+        b.emit(Instr(Op.LI, defs=[arg], imm=0))
+        b.emit(Instr(Op.CALL, callee="helper"))  # reused frame: must fault
+        b.emit(Instr(Op.RET))
+        module = Module()
+        module.add_function(fn)
+        module.add_function(helper)
+        fast, ref = run_both(module, machine, check_callee_saved=False,
+                             poison_calls=False)
+        assert fast == ref
+        assert fast == ("fault", "helper: load of never-written [s0]")
